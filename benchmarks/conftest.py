@@ -1,0 +1,39 @@
+"""Shared bench fixtures: run a figure experiment once, save its output.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each bench executes
+the corresponding figure experiment exactly once (they are deterministic
+simulations — repetition adds nothing), records the wall time through
+pytest-benchmark, prints the reproduced figure, and archives the text
+under ``benchmarks/results/``.
+
+Set ``REPRO_SCALE=full`` for longer simulations closer to the paper's
+run lengths.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def run_figure(benchmark, capsys):
+    """Run ``ALL_FIGURES[name]`` once under pytest-benchmark."""
+
+    def _run(name: str):
+        from repro.experiments import ALL_FIGURES
+
+        result = benchmark.pedantic(
+            ALL_FIGURES[name], rounds=1, iterations=1, warmup_rounds=0
+        )
+        text = result.render()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        return result
+
+    return _run

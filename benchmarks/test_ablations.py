@@ -1,0 +1,122 @@
+"""Ablation benches: one design choice varied at a time (DESIGN.md §6).
+
+Not paper figures — these probe the mechanisms the paper fixes by fiat
+(depletion action, equal Reso shares, busy-polling guests, 1 ms ResEx
+interval with ~250 us IBMon sampling, fluid link model) and record how
+the canonical 64KB-vs-2MB outcome depends on each.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.ablations import ALL_ABLATIONS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def run_ablation(benchmark, capsys):
+    def _run(name: str):
+        result = benchmark.pedantic(
+            ALL_ABLATIONS[name], rounds=1, iterations=1, warmup_rounds=0
+        )
+        text = result.render()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"ablation_{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        return result
+
+    return _run
+
+
+def test_ablation_depletion_modes(run_ablation):
+    result = run_ablation("depletion")
+    # All three out-of-Resos actions contain the interferer below the
+    # uncontrolled ~325 us level; 'hard' throttles at least as much CPU
+    # as 'gradual' on average.
+    for mode in ("gradual", "hard", "proportional"):
+        assert result.extra[mode]["mean_us"] < 300.0
+    assert (
+        result.extra["hard"]["cap_mean"]
+        <= result.extra["gradual"]["cap_mean"] + 1.0
+    )
+
+
+def test_ablation_weighted_shares(run_ablation):
+    result = run_ablation("weights")
+    # More victim priority -> earlier interferer starvation -> lower
+    # victim latency, monotonically.
+    assert result.extra["3:1"] < result.extra["1:1"]
+    assert result.extra["9:1"] <= result.extra["3:1"] + 2.0
+
+
+def test_ablation_completion_mode(run_ablation):
+    result = run_ablation("completion")
+    poll_gain = result.extra["poll/cap100"] - result.extra["poll/cap10"]
+    event_gain = result.extra["event/cap100"] - result.extra["event/cap10"]
+    # The cap removes most interference from a polling guest...
+    assert poll_gain > 50.0
+    # ...but much less from an event-driven one: the lever weakens.
+    assert event_gain < poll_gain * 0.6
+
+
+def test_ablation_sampling_interval(run_ablation):
+    result = run_ablation("sampling")
+    fine = result.extra["100"]
+    coarse = result.extra["5000"]
+    # Outcome degrades gracefully: even 50x coarser sampling changes the
+    # managed latency by under 15%.
+    assert abs(coarse - fine) < 0.15 * fine
+
+
+def test_ablation_reaction_time(run_ablation):
+    result = run_ablation("reaction")
+    ios = result.extra["ioshares"]
+    # IOShares reacts within a few detector windows (well under 200 ms)
+    # and settles near base.
+    assert ios["reaction_ms"] < 200.0
+    assert ios["settled_mean_us"] < 260.0
+    # The static rule also reacts quickly (needs one observed CQE).
+    assert result.extra["static-ratio"]["reaction_ms"] < 100.0
+
+
+def test_ablation_fanin_scaling(run_ablation):
+    result = run_ablation("fanin")
+    # Per-client latency grows monotonically with client count...
+    means = [result.extra[str(n)]["mean_us"] for n in (1, 2, 4, 6)]
+    assert means == sorted(means)
+    assert means[0] == pytest.approx(209.0, abs=8.0)
+    # ...while server throughput saturates (4 vs 6 clients ~equal).
+    r4 = result.extra["4"]["rate_hz"]
+    r6 = result.extra["6"]["rate_hz"]
+    assert r6 == pytest.approx(r4, rel=0.10)
+
+
+def test_ablation_link_models(run_ablation):
+    result = run_ablation("linkmodel")
+    # Fluid and exact packet models agree to within 1% on completion
+    # times across workload mixes.
+    assert result.extra["worst_error_pct"] < 1.0
+
+
+def test_ablation_federation(run_ablation):
+    result = run_ablation("federation")
+    single = result.extra["server-side only"]
+    federated = result.extra["federated"]
+    # Pricing the interferer's client side too removes residual ingress
+    # interference: at least as good, typically several us better.
+    assert federated < single + 1.0
+    assert federated < 235.0
+
+
+def test_ablation_actuators(run_ablation):
+    result = run_ablation("actuators")
+    caps = result.extra["ioshares"]
+    hw = result.extra["hw-shares"]
+    # Both actuators protect the victim comparably...
+    assert abs(caps["victim_mean_us"] - hw["victim_mean_us"]) < 15.0
+    # ...but HW limiting leaves the interferer its CPU (busy-polling a
+    # slow flow) where the cap starves it.
+    assert hw["intf_cpu_pct"] > caps["intf_cpu_pct"] * 2.0

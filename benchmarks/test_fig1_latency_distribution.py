@@ -1,0 +1,24 @@
+"""Figure 1: latency distribution of a normal vs interfered server.
+
+Paper: the normal server is 'highly stable at around 209 us'; with the
+interfering load 'the latencies are distributed across the interval' —
+both the average and the jitter increase.
+"""
+
+
+def test_fig1_latency_distribution(run_figure):
+    result = run_figure("fig1")
+    normal = result.extra["normal"]
+    interfered = result.extra["interfered"]
+
+    # M1 calibration: base case ~209 us and essentially noise-free.
+    assert abs(normal["mean_us"] - 209.0) < 6.0
+    assert normal["std_us"] < 6.0
+
+    # Interference raises the mean substantially...
+    assert interfered["mean_us"] > normal["mean_us"] * 1.3
+    # ...and spreads the distribution (jitter).
+    assert interfered["std_us"] > normal["std_us"] * 3.0
+    # The interfered distribution covers a wide interval.
+    spread = interfered["p99_us"] - interfered["min_us"]
+    assert spread > 50.0

@@ -1,0 +1,35 @@
+"""Figure 2: CTime/WTime/PTime vs number of servers, +/- interfering load.
+
+Paper: 'Since CTime is independent of I/O interference it remains
+fairly constant... both WTime and PTime start increasing with load';
+without the interference generator, collocating only the latency
+applications degrades much less.
+"""
+
+
+def test_fig2_latency_components(run_figure):
+    result = run_figure("fig2")
+    one = result.extra["1"]
+    one_load = result.extra["1+load"]
+    three = result.extra["3"]
+    three_load = result.extra["3+load"]
+
+    # CTime flat in every configuration.
+    ctimes = [
+        result.extra[k]["ctime_mean_us"]
+        for k in ("1", "1+load", "2", "2+load", "3", "3+load")
+    ]
+    assert max(ctimes) - min(ctimes) < 0.05 * max(ctimes)
+
+    # Load inflates WTime and PTime.
+    assert one_load["wtime_mean_us"] > one["wtime_mean_us"] * 1.3
+    assert one_load["ptime_mean_us"] > one["ptime_mean_us"] * 1.3
+
+    # More collocated servers -> more (mild) contention even unloaded.
+    assert three["total_mean_us"] >= one["total_mean_us"]
+
+    # Collocating only latency apps hurts far less than adding the
+    # interference generator.
+    delta_servers = three["total_mean_us"] - one["total_mean_us"]
+    delta_load = three_load["total_mean_us"] - three["total_mean_us"]
+    assert delta_load > delta_servers

@@ -1,0 +1,22 @@
+"""Figure 3: interferer buffer ratio with cap = 100/ratio.
+
+Paper: with the interfering VM's CPU cap set from the buffer ratio,
+'the latencies experienced by the reporting VM do not change between
+all the instances' — i.e. the cap has a direct relationship with the
+buffer ratio and the induced I/O latency.
+"""
+
+import numpy as np
+
+
+def test_fig3_buffer_ratio(run_figure):
+    result = run_figure("fig3")
+    totals = result.extra["totals"]
+
+    # Ratio-capped configurations (ratio >= 2) land in a narrow band.
+    capped = [totals[r] for r in (32, 16, 8, 4, 2)]
+    assert max(capped) - min(capped) < 0.12 * float(np.mean(capped))
+
+    # And every configuration stays far below the uncapped-2MB level
+    # (~325 us): equalized interference, not unchecked interference.
+    assert max(capped) < 280.0

@@ -1,0 +1,22 @@
+"""Figure 6: Reso balance trajectories under FreeMarket (rated capping).
+
+Paper: 'The algorithm keeps deducting Resos until a minimum level (10%)
+is reached after which it starts reducing the CPU Cap.  The effect of
+this is seen by the 2MB VM.'
+"""
+
+
+def test_fig6_reso_depletion(run_figure):
+    result = run_figure("fig6")
+    big = result.extra["2MB VM"]
+    small = result.extra["64KB VM"]
+
+    # The 2MB VM drains its allocation within the epoch...
+    assert big["min"] < big["start"] * 0.05
+    # ...and its cap is driven to the FreeMarket floor.
+    assert big["cap_min"] == 10
+
+    # The 64KB VM's demand fits its allocation: balance never collapses
+    # and its cap is never reduced.
+    assert small["min"] > small["start"] * 0.10
+    assert small["cap_min"] == 100

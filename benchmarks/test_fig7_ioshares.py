@@ -1,0 +1,24 @@
+"""Figure 7: application latency under the IOShares policy.
+
+Paper: 'the algorithm is able to achieve near base case latencies for
+the application by taking into consideration the interference
+percentage of the 64KB VM and thus charging the 2MB VM more... The CPU
+Cap is changed dynamically to a lower value for the 2MB VM'.
+"""
+
+
+def test_fig7_ioshares(run_figure):
+    result = run_figure("fig7")
+    base = result.extra["base_mean"]
+    intf = result.extra["intf_mean"]
+    ios = result.extra["ios_mean"]
+
+    # Near-base latency: most of the interference is gone.
+    assert ios < base * 1.18
+    # And clearly better than both the interfered case and FreeMarket's
+    # typical level (see fig5/fig9 for the cross-policy comparison).
+    assert ios < intf - 60.0
+
+    # The congestion price drove the 2MB VM's cap down dynamically.
+    values = dict((r[0], r[1]) for r in result.rows)
+    assert values["2MB-VM cap (min)"] <= 20

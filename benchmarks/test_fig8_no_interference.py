@@ -1,0 +1,24 @@
+"""Figure 8: FreeMarket and IOShares on non-interference cases.
+
+Paper: 'the values are almost equal to the Base values.  This
+highlights two aspects of ResEx.  One, ResEx can not only detect
+interference for a VM but also back off when there isn't any...  Two,
+ResEx adapts to the I/O performed by the VMs to not penalize VMs if
+they are doing the same amount of I/O.'
+"""
+
+
+def test_fig8_no_interference(run_figure):
+    result = run_figure("fig8")
+    base = result.extra["Base-64KB"]
+
+    # A slow (10 req/s) 2MB neighbour is not penalized into visibility:
+    # latencies stay near base under both policies.
+    assert result.extra["FM-64KB-2MB-NoIntf"] < base * 1.15
+    assert result.extra["IOS-64KB-2MB-NoIntf"] < base * 1.15
+
+    # Two equal 64KB VMs share fairly; neither policy makes the managed
+    # case dramatically worse than the unmanaged equal-share level, and
+    # the result stays far below the 2MB-interferer level (~325 us).
+    assert result.extra["FM-64KB-64KB"] < 300.0
+    assert result.extra["IOS-64KB-64KB"] < 300.0

@@ -1,0 +1,24 @@
+"""Figure 9: FreeMarket vs IOShares across interferer buffer sizes.
+
+Paper: 'IOShares outperforms FreeMarket by maintaining the average
+latency very close to the base value.  FreeMarket does not limit the
+latency since it does not have access to that information.'
+"""
+
+from repro.units import KiB
+
+
+def test_fig9_buffer_size_response(run_figure):
+    result = run_figure("fig9")
+    base = result.extra["base"]
+
+    for buf_label in ("128KB", "256KB", "512KB", "1MB"):
+        entry = result.extra[buf_label]
+        # IOShares beats FreeMarket at every interfering buffer size...
+        assert entry["ioshares"] <= entry["freemarket"] + 2.0, buf_label
+        # ...and stays close to the base value.
+        assert entry["ioshares"] < base * 1.22, buf_label
+
+    # For the largest interferers the gap is decisive.
+    big = result.extra["1MB"]
+    assert big["freemarket"] - big["ioshares"] > 15.0

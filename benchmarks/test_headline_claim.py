@@ -1,0 +1,10 @@
+"""Headline claim (abstract): 'ResEx can reduce the latency
+interference by as much as 30% in some cases.'"""
+
+
+def test_headline_claim(run_figure):
+    result = run_figure("headline")
+    reduction = result.extra["reduction_pct"]
+    # Interference reduction in the canonical 64KB-vs-2MB scenario.
+    assert reduction > 22.0
+    assert reduction < 45.0  # sanity: not too good to be true

@@ -1,0 +1,36 @@
+"""ResEx reproduction: latency-aware scheduling for virtualized RDMA.
+
+Full-system simulation reproduction of Ranadive, Gavrilovska, Schwan:
+"ResourceExchange: Latency-Aware Scheduling in Virtualized Environments
+with High Performance Fabrics" (IEEE CLUSTER 2011).
+
+Subpackages
+-----------
+sim
+    Deterministic discrete-event kernel (integer-ns clock).
+hw
+    Hosts, CPUs, memory frames, max-min fair fabric.
+ib
+    InfiniBand substrate: verbs, QPs, CQs, TPT, UAR, HCA engine.
+xen
+    Hypervisor substrate: domains, credit scheduler with caps,
+    introspection, split driver, XenStat.
+ibmon
+    Introspection-based I/O monitoring (the paper's IBMon).
+resex
+    The contribution: Resos currency, pricing policies, controller.
+benchex
+    The latency-sensitive trading benchmark (the paper's BenchEx).
+finance
+    Options-pricing library backing BenchEx request processing.
+workloads
+    Synthetic exchange traces.
+experiments
+    Canonical testbed, scenario runner, per-figure experiments.
+analysis
+    Result summaries and text rendering.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,27 @@
+"""Result analysis: summaries, reductions, and text rendering."""
+
+from repro.analysis.export import (
+    figure_to_json,
+    write_figure_json,
+    write_latency_records_csv,
+    write_series_csv,
+)
+from repro.analysis.stats import (
+    LatencySummary,
+    downsample,
+    interference_reduction_pct,
+)
+from repro.analysis.tables import render_histogram, render_series, render_table
+
+__all__ = [
+    "LatencySummary",
+    "downsample",
+    "figure_to_json",
+    "interference_reduction_pct",
+    "render_histogram",
+    "render_series",
+    "render_table",
+    "write_figure_json",
+    "write_latency_records_csv",
+    "write_series_csv",
+]

@@ -1,0 +1,88 @@
+"""Exporting results to CSV/JSON for external analysis or plotting.
+
+Everything the harness produces — latency records, probe time series,
+figure tables — can be written to plain files, so the simulation can
+feed whatever plotting or statistics stack a user prefers.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import TYPE_CHECKING, Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.benchex.latency import LatencyRecord
+    from repro.experiments.figures import FigureResult
+
+
+def write_latency_records_csv(
+    path: "str | pathlib.Path", records: Sequence["LatencyRecord"]
+) -> int:
+    """One row per served request; returns the row count."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["request_id", "t_cycle_start_ns", "ptime_ns", "ctime_ns",
+             "wtime_ns", "total_ns"]
+        )
+        for r in records:
+            writer.writerow(
+                [r.request_id, r.t_cycle_start, r.ptime_ns, r.ctime_ns,
+                 r.wtime_ns, r.total_ns]
+            )
+    return len(records)
+
+
+def write_series_csv(
+    path: "str | pathlib.Path",
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]],
+) -> int:
+    """Long-format (series, t_ns, value) rows for probe time series."""
+    path = pathlib.Path(path)
+    total = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["series", "t_ns", "value"])
+        for name in sorted(series):
+            times, values = series[name]
+            for t, v in zip(np.asarray(times), np.asarray(values)):
+                writer.writerow([name, int(t), float(v)])
+                total += 1
+    return total
+
+
+def figure_to_json(result: "FigureResult") -> str:
+    """Serialize a FigureResult (rows + extra) to a JSON document."""
+
+    def _default(obj):
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, set):
+            return sorted(obj)
+        raise TypeError(f"not JSON serializable: {type(obj)!r}")
+
+    return json.dumps(
+        {
+            "figure": result.figure,
+            "title": result.title,
+            "headers": result.headers,
+            "rows": result.rows,
+            "notes": result.notes,
+            "extra": result.extra,
+        },
+        indent=2,
+        default=_default,
+    )
+
+
+def write_figure_json(path: "str | pathlib.Path", result: "FigureResult") -> None:
+    pathlib.Path(path).write_text(figure_to_json(result) + "\n")

@@ -1,0 +1,70 @@
+"""Latency statistics helpers shared by experiments and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary of a latency sample set (all values in microseconds)."""
+
+    n: int
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.size == 0:
+            nan = float("nan")
+            return cls(0, nan, nan, nan, nan, nan, nan, nan)
+        return cls(
+            n=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "mean_us": self.mean,
+            "std_us": self.std,
+            "p50_us": self.p50,
+            "p95_us": self.p95,
+            "p99_us": self.p99,
+            "min_us": self.minimum,
+            "max_us": self.maximum,
+        }
+
+
+def interference_reduction_pct(
+    interfered_mean: float, managed_mean: float
+) -> float:
+    """The paper's headline metric: how much of the interfered latency a
+    policy removes, as a percentage of the interfered latency."""
+    if interfered_mean <= 0:
+        return float("nan")
+    return 100.0 * (interfered_mean - managed_mean) / interfered_mean
+
+
+def downsample(values: np.ndarray, max_points: int) -> np.ndarray:
+    """Thin a long series to at most ``max_points`` by striding."""
+    arr = np.asarray(values)
+    if arr.size <= max_points or max_points <= 0:
+        return arr
+    stride = -(-arr.size // max_points)
+    return arr[::stride]

@@ -1,0 +1,83 @@
+"""Plain-text rendering of bench results (tables, series, histograms).
+
+The benchmark harness regenerates the paper's figures as text: each
+bench prints the same rows/series the figure plots, so shapes can be
+compared without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table.  Floats are shown with one decimal."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.1f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_histogram(
+    bins: Sequence[Tuple[float, int]],
+    title: str = "",
+    width: int = 50,
+    unit: str = "us",
+) -> str:
+    """Text histogram: one bar per bin (the Fig. 1 distribution view)."""
+    out: List[str] = []
+    if title:
+        out.append(title)
+    if not bins:
+        out.append("(no samples)")
+        return "\n".join(out)
+    peak = max(count for _, count in bins)
+    for edge, count in bins:
+        bar = "#" * max(1, round(width * count / peak)) if count else ""
+        out.append(f"{edge:9.1f}{unit}  {count:6d}  {bar}")
+    return "\n".join(out)
+
+
+def render_series(
+    times_s: Sequence[float],
+    values: Sequence[float],
+    title: str = "",
+    max_rows: int = 25,
+    value_label: str = "value",
+) -> str:
+    """Down-sampled (time, value) listing for timeline figures."""
+    out: List[str] = []
+    if title:
+        out.append(title)
+    n = len(times_s)
+    if n == 0:
+        out.append("(empty series)")
+        return "\n".join(out)
+    stride = max(1, -(-n // max_rows))
+    out.append(f"{'t(s)':>10}  {value_label:>12}")
+    for i in range(0, n, stride):
+        out.append(f"{times_s[i]:10.3f}  {values[i]:12.2f}")
+    return "\n".join(out)

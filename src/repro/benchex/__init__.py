@@ -1,0 +1,26 @@
+"""BenchEx: the RDMA latency-sensitive trading benchmark (paper §IV)."""
+
+from repro.benchex.app import BenchExPair, deploy_pairs, run_pairs
+from repro.benchex.client import BenchExClient
+from repro.benchex.config import INTERFERER_2MB, REPORTING_64KB, BenchExConfig
+from repro.benchex.fanin import BenchExFanIn, FanInServer
+from repro.benchex.latency import LatencyBreakdown, LatencyRecord, histogram_us
+from repro.benchex.reporting import LatencyAgent
+from repro.benchex.server import BenchExServer
+
+__all__ = [
+    "BenchExClient",
+    "BenchExConfig",
+    "BenchExFanIn",
+    "BenchExPair",
+    "BenchExServer",
+    "FanInServer",
+    "INTERFERER_2MB",
+    "LatencyAgent",
+    "LatencyBreakdown",
+    "LatencyRecord",
+    "REPORTING_64KB",
+    "deploy_pairs",
+    "histogram_us",
+    "run_pairs",
+]

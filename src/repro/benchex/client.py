@@ -1,0 +1,146 @@
+"""The BenchEx trading client.
+
+Posts timestamped transaction requests and measures round-trip latency
+from its own clock (paper §IV: clients timestamp the request, the
+reply, and difference the two).  ``pipeline_depth`` requests are kept
+outstanding: depth 1 is the latency-sensitive closed loop; larger
+depths keep the wire saturated (interference-generator mode).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+import numpy as np
+
+from repro.benchex.config import BenchExConfig
+from repro.errors import BenchmarkError
+from repro.finance.workload import PricingRequest
+from repro.ib.cq import WCStatus
+from repro.ib.mr import Access
+from repro.ib.qp import QueuePair
+from repro.ib.verbs import IBContext
+from repro.units import ns_to_us
+
+
+class BenchExClient:
+    """Client half of a BenchEx pair."""
+
+    RECV_HEADROOM = 2
+
+    def __init__(
+        self,
+        config: BenchExConfig,
+        ctx: IBContext,
+        qp: QueuePair,
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.ctx = ctx
+        self.qp = qp
+        self.rng = rng
+        #: Round-trip latency per completed request, in us (post-warmup).
+        self.latencies_us: List[float] = []
+        #: (completion_time_ns, latency_us) pairs for time-series plots.
+        self.samples: List[tuple] = []
+        self.requests_completed = 0
+        #: Optional pacing hook: called with the current time (ns),
+        #: returns the think time (ns) before the next request.  Used by
+        #: trace-driven workloads; overrides config.think_time_ns.
+        self.pacer: Optional[Callable[[int], int]] = None
+        self._send_mr = None
+        self._recv_mr = None
+
+    def setup(self, frontend):
+        """Register buffers and pre-post receives (process generator)."""
+        cfg = self.config
+        self._send_mr = yield from frontend.reg_mr(
+            self.ctx, cfg.buffer_bytes, Access.full(), label=f"{cfg.name}-req"
+        )
+        self._recv_mr = yield from frontend.reg_mr(
+            self.ctx, cfg.buffer_bytes, Access.full(), label=f"{cfg.name}-resp"
+        )
+        for _ in range(cfg.pipeline_depth + self.RECV_HEADROOM):
+            yield from self.ctx.post_recv(self.qp, self._recv_mr)
+
+    def _make_request(self, request_id: int) -> PricingRequest:
+        cfg = self.config
+        spot = 80.0 + 40.0 * self.rng.random()
+        n_options = max(
+            1,
+            round(
+                cfg.n_options
+                * (1.0 + cfg.ctime_jitter * (2.0 * self.rng.random() - 1.0))
+            ),
+        )
+        return PricingRequest(
+            request_id=request_id,
+            n_options=n_options,
+            spot=spot,
+            strike=spot * (0.9 + 0.2 * self.rng.random()),
+            rate=0.05,
+            sigma=0.15 + 0.3 * self.rng.random(),
+            expiry_years=0.25 + self.rng.random(),
+        )
+
+    def run(self):
+        """Issue requests until the configured limit (process generator)."""
+        if self._send_mr is None:
+            raise BenchmarkError("setup() must run before run()")
+        cfg = self.config
+        env = self.ctx.domain.env
+        vcpu = self.ctx.domain.vcpu
+        sent = 0
+        completed = 0
+        in_flight: Deque[int] = deque()  # send timestamps, FIFO (RC ordering)
+
+        while cfg.request_limit is None or completed < cfg.request_limit:
+            # Fill the window.
+            while len(in_flight) < cfg.pipeline_depth and (
+                cfg.request_limit is None or sent < cfg.request_limit
+            ):
+                sent += 1
+                request = self._make_request(sent)
+                in_flight.append(env.now)
+                yield from self.ctx.post_send(
+                    self.qp,
+                    self._send_mr,
+                    length=cfg.buffer_bytes,
+                    payload=request,
+                    imm_data=sent,
+                    signaled=False,
+                )
+
+            # Wait for (at least one) response.
+            if cfg.completion_mode == "event":
+                cqes, _polled = yield from self.ctx.wait_cq(self.qp.recv_cq)
+            else:
+                cqes, _polled = yield from self.ctx.poll_cq_blocking(
+                    self.qp.recv_cq
+                )
+            for cqe in cqes:
+                if cqe.status is not WCStatus.SUCCESS:
+                    raise BenchmarkError(
+                        f"client {cfg.name}: response failed: {cqe.status}"
+                    )
+                if not in_flight:
+                    raise BenchmarkError(
+                        f"client {cfg.name}: response without a request"
+                    )
+                t_sent = in_flight.popleft()
+                completed += 1
+                self.requests_completed = completed
+                latency_us = ns_to_us(env.now - t_sent)
+                if completed > cfg.warmup_requests:
+                    self.latencies_us.append(latency_us)
+                    self.samples.append((env.now, latency_us))
+                # Replenish the consumed receive.
+                yield from self.ctx.post_recv(self.qp, self._recv_mr)
+
+            think = self.pacer(env.now) if self.pacer else cfg.think_time_ns
+            if think > 0:
+                yield env.timeout(think)
+
+    def latency_array(self) -> np.ndarray:
+        return np.asarray(self.latencies_us, dtype=np.float64)

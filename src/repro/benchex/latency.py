@@ -1,0 +1,104 @@
+"""Latency records and aggregation for BenchEx.
+
+Server-side latency decomposes into the paper's three parts (§II):
+
+* **PTime** — polling time: from when the server starts polling for the
+  next transaction until the request CQE is observed.  Grows under
+  congestion because inbound requests serialize more slowly, and under
+  CPU caps because a parked VCPU cannot observe completions.
+* **CTime** — compute time for request processing.  Independent of I/O
+  interference (Fig. 2 shows it flat).
+* **WTime** — I/O wait: from posting the response until its send
+  completion is observed.  Grows with egress congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.units import ns_to_us
+
+
+@dataclass(frozen=True)
+class LatencyRecord:
+    """One served request, all times in ns."""
+
+    request_id: int
+    t_cycle_start: int
+    ptime_ns: int
+    ctime_ns: int
+    wtime_ns: int
+
+    @property
+    def total_ns(self) -> int:
+        return self.ptime_ns + self.ctime_ns + self.wtime_ns
+
+    @property
+    def total_us(self) -> float:
+        return ns_to_us(self.total_ns)
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Mean and stddev of each component over a set of records (us)."""
+
+    n: int
+    ctime_mean: float
+    ctime_std: float
+    wtime_mean: float
+    wtime_std: float
+    ptime_mean: float
+    ptime_std: float
+    total_mean: float
+    total_std: float
+
+    @classmethod
+    def from_records(cls, records: Sequence[LatencyRecord]) -> "LatencyBreakdown":
+        if not records:
+            nan = float("nan")
+            return cls(0, nan, nan, nan, nan, nan, nan, nan, nan)
+        c = np.array([r.ctime_ns for r in records], dtype=np.float64) / 1e3
+        w = np.array([r.wtime_ns for r in records], dtype=np.float64) / 1e3
+        p = np.array([r.ptime_ns for r in records], dtype=np.float64) / 1e3
+        t = c + w + p
+        return cls(
+            n=len(records),
+            ctime_mean=float(c.mean()),
+            ctime_std=float(c.std()),
+            wtime_mean=float(w.mean()),
+            wtime_std=float(w.std()),
+            ptime_mean=float(p.mean()),
+            ptime_std=float(p.std()),
+            total_mean=float(t.mean()),
+            total_std=float(t.std()),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "ctime_mean_us": self.ctime_mean,
+            "ctime_std_us": self.ctime_std,
+            "wtime_mean_us": self.wtime_mean,
+            "wtime_std_us": self.wtime_std,
+            "ptime_mean_us": self.ptime_mean,
+            "ptime_std_us": self.ptime_std,
+            "total_mean_us": self.total_mean,
+            "total_std_us": self.total_std,
+        }
+
+
+def histogram_us(
+    latencies_us: Sequence[float], bin_width_us: float = 5.0
+) -> List[tuple]:
+    """(bin_left_edge, count) pairs — the Fig. 1 frequency distribution."""
+    arr = np.asarray(latencies_us, dtype=np.float64)
+    if arr.size == 0:
+        return []
+    lo = np.floor(arr.min() / bin_width_us) * bin_width_us
+    hi = np.ceil(arr.max() / bin_width_us) * bin_width_us + bin_width_us
+    edges = np.arange(lo, hi + bin_width_us, bin_width_us)
+    counts, edges = np.histogram(arr, bins=edges)
+    return [(float(e), int(c)) for e, c in zip(edges[:-1], counts) if c > 0]

@@ -1,0 +1,228 @@
+"""Command-line interface: run figures and ad-hoc scenarios.
+
+Examples::
+
+    python -m repro figures --list
+    python -m repro figures fig1 headline
+    python -m repro figures --all --scale full --out results/
+    python -m repro scenario --interferer 2MB --policy ioshares --sim-s 2
+    python -m repro policies
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.units import KiB, MiB
+
+
+def _parse_size(text: str) -> int:
+    """'64KB' / '2MB' / '1048576' -> bytes."""
+    t = text.strip().upper()
+    for suffix, mult in (("KB", KiB), ("KIB", KiB), ("MB", MiB), ("MIB", MiB)):
+        if t.endswith(suffix):
+            return int(float(t[: -len(suffix)]) * mult)
+    return int(t)
+
+
+def _run_experiment_set(args: argparse.Namespace, registry: dict) -> int:
+    if args.list:
+        for name, fn in registry.items():
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"{name:10s} {doc[0] if doc else ''}")
+        return 0
+
+    names = list(registry) if args.all else args.names
+    if not names:
+        print(
+            "nothing selected (use --all, --list, or name experiments)",
+            file=sys.stderr,
+        )
+        return 2
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown experiments: {unknown}; try --list", file=sys.stderr)
+        return 2
+
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+    out_dir: Optional[pathlib.Path] = None
+    if args.out:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        result = registry[name](seed=args.seed)
+        text = result.render()
+        print(text)
+        print()
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+            if args.json:
+                from repro.analysis import write_figure_json
+
+                write_figure_json(out_dir / f"{name}.json", result)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_FIGURES
+
+    return _run_experiment_set(args, ALL_FIGURES)
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import ALL_ABLATIONS
+
+    return _run_experiment_set(args, ALL_ABLATIONS)
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table
+    from repro.benchex import BenchExConfig
+    from repro.experiments import run_scenario
+
+    interferer = None
+    if args.interferer:
+        interferer = BenchExConfig(
+            name="interferer",
+            buffer_bytes=_parse_size(args.interferer),
+            pipeline_depth=args.interferer_depth,
+        )
+    result = run_scenario(
+        "cli",
+        interferer=interferer,
+        policy=args.policy,
+        manual_cap=args.cap,
+        n_servers=args.servers,
+        sim_s=args.sim_s,
+        seed=args.seed,
+    )
+    b = result.breakdown
+    print(
+        render_table(
+            ["metric", "value (us)"],
+            [
+                ["CTime mean", b.ctime_mean],
+                ["WTime mean", b.wtime_mean],
+                ["PTime mean", b.ptime_mean],
+                ["Total mean", b.total_mean],
+                ["Total std", b.total_std],
+                ["requests", float(b.n)],
+            ],
+            title=(
+                f"Reporting-VM latency "
+                f"(interferer={args.interferer or 'none'}, "
+                f"policy={args.policy or 'none'}, cap={args.cap or '-'})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+    text = generate_report(
+        seed=args.seed,
+        include_ablations=not args.no_ablations,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_policies(_args: argparse.Namespace) -> int:
+    from repro.resex import registered_policies
+
+    for name, cls in sorted(registered_policies().items()):
+        doc = (cls.__doc__ or "").strip().splitlines()
+        print(f"{name:14s} {doc[0] if doc else ''}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ResEx reproduction: run paper figures and scenarios.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_experiment_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("names", nargs="*", help="experiment names (see --list)")
+        p.add_argument("--list", action="store_true", help="list experiments")
+        p.add_argument("--all", action="store_true", help="run every experiment")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--scale", choices=["fast", "full"], default=None)
+        p.add_argument("--out", help="directory to save rendered outputs")
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="also write structured JSON next to saved text (with --out)",
+        )
+
+    figures = sub.add_parser("figures", help="run paper-figure experiments")
+    add_experiment_args(figures)
+    figures.set_defaults(func=_cmd_figures)
+
+    ablations = sub.add_parser(
+        "ablations", help="run design-choice ablation experiments"
+    )
+    add_experiment_args(ablations)
+    ablations.set_defaults(func=_cmd_ablations)
+
+    scenario = sub.add_parser("scenario", help="run one ad-hoc scenario")
+    scenario.add_argument(
+        "--interferer",
+        help="interfering VM buffer size (e.g. 2MB); omit for base case",
+    )
+    scenario.add_argument("--interferer-depth", type=int, default=2)
+    scenario.add_argument(
+        "--policy",
+        help="pricing policy name (see 'repro policies'); omit for none",
+    )
+    scenario.add_argument(
+        "--cap", type=int, help="manual CPU cap for the interfering VM"
+    )
+    scenario.add_argument("--servers", type=int, default=1)
+    scenario.add_argument("--sim-s", type=float, default=1.0)
+    scenario.add_argument("--seed", type=int, default=7)
+    scenario.set_defaults(func=_cmd_scenario)
+
+    policies = sub.add_parser("policies", help="list registered pricing policies")
+    policies.set_defaults(func=_cmd_policies)
+
+    report = sub.add_parser(
+        "report", help="run everything and write a markdown report"
+    )
+    report.add_argument("-o", "--output", help="output file (default stdout)")
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--scale", choices=["fast", "full"], default=None)
+    report.add_argument(
+        "--no-ablations", action="store_true", help="figures only"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro package.
+
+Every layer raises a subclass of :class:`ReproError` so callers can
+catch simulation-level failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event kernel."""
+
+
+class StopSimulation(Exception):
+    """Internal signal used by Environment.run(until=event)."""
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value."""
+
+
+class FabricError(ReproError):
+    """Errors from the InfiniBand / link models."""
+
+
+class ProtectionFault(FabricError):
+    """A work request referenced memory with a bad or mismatched key."""
+
+
+class QPError(FabricError):
+    """Queue-pair state machine violation (e.g. posting to a RESET QP)."""
+
+
+class CQOverflowError(FabricError):
+    """Completion queue ring overflow (CQEs produced faster than consumed)."""
+
+
+class HypervisorError(ReproError):
+    """Errors from the Xen-like hypervisor substrate."""
+
+
+class SchedulerError(HypervisorError):
+    """Credit-scheduler invariant violation or invalid cap/weight."""
+
+
+class IntrospectionError(HypervisorError):
+    """Foreign page mapping failure (bad domain, unmapped page, ...)."""
+
+
+class ResExError(ReproError):
+    """Errors from the ResEx controller / pricing policies."""
+
+
+class PricingError(ResExError):
+    """Invalid pricing-policy configuration or rate computation."""
+
+
+class BenchmarkError(ReproError):
+    """Errors from BenchEx workload components."""
+
+
+class FinanceError(ReproError):
+    """Errors from the financial algorithms library."""

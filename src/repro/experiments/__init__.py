@@ -1,0 +1,28 @@
+"""Experiment harness: canonical testbed, scenarios, per-figure runs."""
+
+from repro.experiments.figures import ALL_FIGURES, FigureResult, scale_factor
+from repro.experiments.multiseed import (
+    Replication,
+    replicate_comparison,
+    replicate_scenario,
+)
+from repro.experiments.platform import Node, Testbed
+from repro.experiments.scenarios import (
+    REPORTING_SLA,
+    ScenarioResult,
+    run_scenario,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureResult",
+    "Node",
+    "REPORTING_SLA",
+    "Replication",
+    "ScenarioResult",
+    "Testbed",
+    "replicate_comparison",
+    "replicate_scenario",
+    "run_scenario",
+    "scale_factor",
+]

@@ -1,0 +1,523 @@
+"""One experiment per figure of the paper's evaluation (§II, §VII).
+
+Each ``fig*`` function runs the scenario(s) behind the corresponding
+figure and returns a :class:`FigureResult` whose rows reproduce what
+the figure plots.  Absolute values are calibrated to the paper's base
+case; the *shapes* (orderings, growth directions, crossovers) are the
+reproduction target — see EXPERIMENTS.md for the comparison.
+
+Scale: ``REPRO_SCALE=full`` in the environment runs longer simulations
+(closer to the paper's 100 000-iteration runs); the default ``fast``
+profile keeps the whole harness in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis import (
+    interference_reduction_pct,
+    render_histogram,
+    render_series,
+    render_table,
+)
+from repro.benchex import BenchExConfig, INTERFERER_2MB, histogram_us
+from repro.experiments.scenarios import REPORTING_SLA, ScenarioResult, run_scenario
+from repro.resex import FreeMarket, IOShares
+from repro.units import KiB, SEC
+
+
+def scale_factor() -> float:
+    """1.0 for the fast profile, 4.0 when REPRO_SCALE=full."""
+    return 4.0 if os.environ.get("REPRO_SCALE", "fast") == "full" else 1.0
+
+
+@dataclass
+class FigureResult:
+    """Rows + rendering for one reproduced figure."""
+
+    figure: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        text = render_table(
+            self.headers, self.rows, title=f"{self.figure}: {self.title}"
+        )
+        if self.notes:
+            text += f"\n{self.notes}"
+        return text
+
+
+def _breakdown_row(label: str, result: ScenarioResult) -> List[object]:
+    b = result.breakdown
+    return [
+        label,
+        b.ctime_mean,
+        b.ctime_std,
+        b.wtime_mean,
+        b.wtime_std,
+        b.ptime_mean,
+        b.ptime_std,
+        b.total_mean,
+        b.total_std,
+    ]
+
+
+_BREAKDOWN_HEADERS = [
+    "config",
+    "CTime",
+    "±",
+    "WTime",
+    "±",
+    "PTime",
+    "±",
+    "Total",
+    "±",
+]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — latency distribution, Normal vs Interfered server
+# ---------------------------------------------------------------------------
+def fig1_latency_distribution(seed: int = 7) -> FigureResult:
+    """Latency distribution, normal vs interfered server (Fig. 1)."""
+    sim_s = 0.8 * scale_factor()
+    normal = run_scenario("normal", sim_s=sim_s, seed=seed)
+    interfered = run_scenario(
+        "interfered", interferer=INTERFERER_2MB, sim_s=sim_s, seed=seed
+    )
+    n_sum, i_sum = normal.summary(), interfered.summary()
+    rows = [
+        ["Normal", n_sum.n, n_sum.mean, n_sum.std, n_sum.p50, n_sum.p99],
+        ["Interfered", i_sum.n, i_sum.mean, i_sum.std, i_sum.p50, i_sum.p99],
+    ]
+    hist_n = histogram_us(normal.latencies_us, bin_width_us=10.0)
+    hist_i = histogram_us(interfered.latencies_us, bin_width_us=10.0)
+    notes = (
+        render_histogram(hist_n, title="\nNormal server distribution:")
+        + "\n"
+        + render_histogram(hist_i, title="\nInterfered server distribution:")
+    )
+    return FigureResult(
+        figure="Fig.1",
+        title="Request latency distribution, normal vs interfered (us)",
+        headers=["server", "n", "mean", "std", "p50", "p99"],
+        rows=rows,
+        notes=notes,
+        extra={"normal": n_sum.as_dict(), "interfered": i_sum.as_dict()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — CTime/WTime/PTime vs number of servers, with/without load
+# ---------------------------------------------------------------------------
+def fig2_latency_components(seed: int = 7, max_servers: int = 3) -> FigureResult:
+    """CTime/WTime/PTime vs #servers, +/- load (Fig. 2)."""
+    sim_s = 0.8 * scale_factor()
+    rows = []
+    extra: Dict[str, object] = {}
+    for n in range(1, max_servers + 1):
+        plain = run_scenario(f"{n}-servers", n_servers=n, sim_s=sim_s, seed=seed)
+        loaded = run_scenario(
+            f"{n}-servers+load",
+            n_servers=n,
+            interferer=INTERFERER_2MB,
+            sim_s=sim_s,
+            seed=seed,
+        )
+        rows.append(_breakdown_row(f"{n} servers", plain))
+        rows.append(_breakdown_row(f"{n} servers (Load)", loaded))
+        extra[f"{n}"] = plain.breakdown.as_dict()
+        extra[f"{n}+load"] = loaded.breakdown.as_dict()
+    return FigureResult(
+        figure="Fig.2",
+        title="Server latency components vs #servers, +/- interfering load (us)",
+        headers=_BREAKDOWN_HEADERS,
+        rows=rows,
+        extra=extra,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — latency vs buffer ratio with cap = 100 / ratio
+# ---------------------------------------------------------------------------
+FIG3_CONFIGS = [
+    (32, 2048 * KiB, 3),
+    (16, 1024 * KiB, 6),
+    (8, 512 * KiB, 12),
+    (4, 256 * KiB, 25),
+    (2, 128 * KiB, 50),
+    (1, 64 * KiB, 100),
+]
+
+
+def fig3_buffer_ratio(seed: int = 7) -> FigureResult:
+    """Interferer buffer ratios with cap = 100/ratio (Fig. 3)."""
+    sim_s = 0.8 * scale_factor()
+    rows = []
+    totals = {}
+    for ratio, buf, cap in FIG3_CONFIGS:
+        intf = BenchExConfig(
+            name=f"intf-{ratio}", buffer_bytes=buf, pipeline_depth=2
+        )
+        res = run_scenario(
+            f"ratio-{ratio}",
+            interferer=intf,
+            manual_cap=cap,
+            sim_s=sim_s,
+            seed=seed,
+        )
+        label = f"{ratio}({intf.label()}) cap={cap}"
+        rows.append(_breakdown_row(label, res))
+        totals[ratio] = res.breakdown.total_mean
+    spread = max(totals.values()) - min(totals.values())
+    return FigureResult(
+        figure="Fig.3",
+        title="Reporting-VM latency with interferer capped at 100/buffer-ratio (us)",
+        headers=_BREAKDOWN_HEADERS,
+        rows=rows,
+        notes=(
+            f"spread across ratios: {spread:.1f} us "
+            "(paper: latencies 'do not change between all the instances')"
+        ),
+        extra={"totals": totals, "spread_us": spread},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — latency vs CPU cap for the 2MB interferer
+# ---------------------------------------------------------------------------
+FIG4_CAPS = [100, 90, 80, 70, 60, 50, 40, 30, 20, 10, 3]
+
+
+def fig4_cap_sweep(seed: int = 7) -> FigureResult:
+    """Victim latency vs the 2MB interferer's CPU cap (Fig. 4)."""
+    sim_s = 0.8 * scale_factor()
+    rows = []
+    totals = {}
+    for cap in FIG4_CAPS:
+        res = run_scenario(
+            f"cap-{cap}",
+            interferer=INTERFERER_2MB,
+            manual_cap=cap,
+            sim_s=sim_s,
+            seed=seed,
+        )
+        rows.append(_breakdown_row(f"cap={cap}", res))
+        totals[cap] = res.breakdown.total_mean
+    base = run_scenario("base", sim_s=sim_s, seed=seed)
+    rows.append(_breakdown_row("Base", base))
+    totals["base"] = base.breakdown.total_mean
+    return FigureResult(
+        figure="Fig.4",
+        title="Reporting-VM latency as the 2MB interferer's CPU cap decreases (us)",
+        headers=_BREAKDOWN_HEADERS,
+        rows=rows,
+        extra={"totals": totals},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 5/6 — FreeMarket timeline: latency + caps (5), Reso balances (6)
+# ---------------------------------------------------------------------------
+def _policy_timeline(policy, name: str, seed: int) -> ScenarioResult:
+    sim_s = 3.0 * scale_factor()
+    return run_scenario(
+        name,
+        interferer=INTERFERER_2MB,
+        policy=policy,
+        sim_s=sim_s,
+        seed=seed,
+    )
+
+
+def fig5_freemarket_timeline(seed: int = 7) -> FigureResult:
+    """Latency + cap timeline under FreeMarket (Fig. 5)."""
+    sim_s = 3.0 * scale_factor()
+    base = run_scenario("base", sim_s=min(sim_s, 1.0), seed=seed)
+    intf = run_scenario(
+        "intf", interferer=INTERFERER_2MB, sim_s=min(sim_s, 1.0), seed=seed
+    )
+    fm = _policy_timeline(FreeMarket(), "freemarket", seed)
+
+    times = np.array([t for t, _ in fm.samples]) / SEC
+    values = np.array([v for _, v in fm.samples])
+    cap_key = f"resex.dom{fm.interferer_domid}.cap"
+    cap_t, cap_v = fm.probe_series[cap_key]
+
+    rows = [
+        ["Base 64KB", base.breakdown.total_mean],
+        ["Intf 64KB", intf.breakdown.total_mean],
+        ["FreeMarket 64KB", fm.breakdown.total_mean],
+        ["FreeMarket p99", float(np.percentile(values, 99))],
+        ["2MB-VM cap (min)", float(np.min(cap_v))],
+        ["2MB-VM cap (mean)", float(np.mean(cap_v))],
+    ]
+    notes = (
+        render_series(
+            times, values, title="\nFreeMarket 64KB-VM latency timeline (us):"
+        )
+        + "\n"
+        + render_series(
+            np.asarray(cap_t) / SEC,
+            cap_v,
+            title="\nFreeMarket 2MB-VM CPU-cap timeline (%):",
+            value_label="cap%",
+        )
+    )
+    return FigureResult(
+        figure="Fig.5",
+        title="Application latency under FreeMarket (us)",
+        headers=["series", "value"],
+        rows=rows,
+        notes=notes,
+        extra={
+            "base_mean": base.breakdown.total_mean,
+            "intf_mean": intf.breakdown.total_mean,
+            "fm_mean": fm.breakdown.total_mean,
+        },
+    )
+
+
+def fig6_reso_depletion(seed: int = 7) -> FigureResult:
+    """Reso balance trajectories under FreeMarket (Fig. 6)."""
+    fm = _policy_timeline(FreeMarket(), "freemarket", seed)
+    rows = []
+    notes_parts = []
+    # The interferer's domid is known; the reporting VM is the other
+    # monitored domain.
+    intf_domid = fm.interferer_domid
+    reso_keys = [k for k in fm.probe_series if k.endswith(".resos")]
+    extra = {}
+    for key in sorted(reso_keys):
+        domid = int(key.split(".")[1].removeprefix("dom"))
+        t, v = fm.probe_series[key]
+        label = "2MB VM" if domid == intf_domid else "64KB VM"
+        rows.append(
+            [
+                f"Resos {label} (start)",
+                float(v[0]),
+            ]
+        )
+        rows.append([f"Resos {label} (min)", float(np.min(v))])
+        rows.append(
+            [f"Resos {label} (end-of-epoch floor hit)", bool(np.min(v) <= v[0] * 0.01)]
+        )
+        notes_parts.append(
+            render_series(
+                np.asarray(t) / SEC,
+                v,
+                title=f"\nReso balance timeline, {label}:",
+                value_label="resos",
+            )
+        )
+        extra[label] = {"min": float(np.min(v)), "start": float(v[0])}
+        cap_t, cap_v = fm.probe_series[f"resex.dom{domid}.cap"]
+        rows.append([f"Cap {label} (min)", float(np.min(cap_v))])
+        extra[label]["cap_min"] = float(np.min(cap_v))
+    return FigureResult(
+        figure="Fig.6",
+        title="Reso depletion and rated capping under FreeMarket",
+        headers=["series", "value"],
+        rows=rows,
+        notes="\n".join(notes_parts),
+        extra=extra,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — IOShares timeline
+# ---------------------------------------------------------------------------
+def fig7_ioshares_timeline(seed: int = 7) -> FigureResult:
+    """Latency + cap timeline under IOShares (Fig. 7)."""
+    sim_s = 3.0 * scale_factor()
+    base = run_scenario("base", sim_s=min(sim_s, 1.0), seed=seed)
+    intf = run_scenario(
+        "intf", interferer=INTERFERER_2MB, sim_s=min(sim_s, 1.0), seed=seed
+    )
+    ios = _policy_timeline(IOShares(), "ioshares", seed)
+
+    times = np.array([t for t, _ in ios.samples]) / SEC
+    values = np.array([v for _, v in ios.samples])
+    cap_key = f"resex.dom{ios.interferer_domid}.cap"
+    cap_t, cap_v = ios.probe_series[cap_key]
+
+    rows = [
+        ["Base 64KB", base.breakdown.total_mean],
+        ["Intf 64KB", intf.breakdown.total_mean],
+        ["IOShares 64KB", ios.breakdown.total_mean],
+        ["IOShares p99", float(np.percentile(values, 99))],
+        ["2MB-VM cap (min)", float(np.min(cap_v))],
+        ["2MB-VM cap (mean)", float(np.mean(cap_v))],
+    ]
+    notes = (
+        render_series(
+            times, values, title="\nIOShares 64KB-VM latency timeline (us):"
+        )
+        + "\n"
+        + render_series(
+            np.asarray(cap_t) / SEC,
+            cap_v,
+            title="\nIOShares 2MB-VM CPU-cap timeline (%):",
+            value_label="cap%",
+        )
+    )
+    return FigureResult(
+        figure="Fig.7",
+        title="Application latency under IOShares (us)",
+        headers=["series", "value"],
+        rows=rows,
+        notes=notes,
+        extra={
+            "base_mean": base.breakdown.total_mean,
+            "intf_mean": intf.breakdown.total_mean,
+            "ios_mean": ios.breakdown.total_mean,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — no-interference cases: backoff and fairness
+# ---------------------------------------------------------------------------
+def fig8_no_interference(seed: int = 7) -> FigureResult:
+    """Non-interference cases: back-off and fairness (Fig. 8)."""
+    sim_s = 1.5 * scale_factor()
+    peer_64kb = BenchExConfig(name="peer64", buffer_bytes=64 * KiB)
+    slow_2mb = BenchExConfig(
+        name="slow2mb", buffer_bytes=2048 * KiB, pipeline_depth=1
+    )
+
+    base = run_scenario("base", sim_s=sim_s, seed=seed)
+    cases = [
+        ("FM-64KB-64KB", peer_64kb, FreeMarket(), None),
+        ("IOS-64KB-64KB", peer_64kb, IOShares(), None),
+        # "the 2MB VM is issuing requests at 10 requests per epoch".
+        ("FM-64KB-2MB-NoIntf", slow_2mb, FreeMarket(), 10.0),
+        ("IOS-64KB-2MB-NoIntf", slow_2mb, IOShares(), 10.0),
+    ]
+    rows = [["Base-64KB", base.breakdown.total_mean, base.breakdown.total_std]]
+    extra = {"Base-64KB": base.breakdown.total_mean}
+    for label, intf_cfg, policy, pacer_hz in cases:
+        res = run_scenario(
+            label,
+            interferer=intf_cfg,
+            policy=policy,
+            sim_s=sim_s,
+            seed=seed,
+            interferer_pacer_hz=pacer_hz,
+        )
+        rows.append([label, res.breakdown.total_mean, res.breakdown.total_std])
+        extra[label] = res.breakdown.total_mean
+    return FigureResult(
+        figure="Fig.8",
+        title="FreeMarket and IOShares on non-interference cases (us)",
+        headers=["configuration", "total", "±"],
+        rows=rows,
+        notes=(
+            "paper: 'the values are almost equal to the Base values' — "
+            "ResEx backs off when there is no interference"
+        ),
+        extra=extra,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — FreeMarket vs IOShares across interferer buffer sizes
+# ---------------------------------------------------------------------------
+FIG9_BUFFERS = [64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB, 1024 * KiB]
+
+
+def fig9_buffer_size_response(seed: int = 7) -> FigureResult:
+    """FreeMarket vs IOShares across interferer sizes (Fig. 9)."""
+    sim_s = 1.5 * scale_factor()
+    base = run_scenario("base", sim_s=sim_s, seed=seed)
+    rows = []
+    extra: Dict[str, object] = {"base": base.breakdown.total_mean}
+    for buf in FIG9_BUFFERS:
+        intf_cfg = BenchExConfig(
+            name=f"intf-{buf // KiB}", buffer_bytes=buf, pipeline_depth=2
+        )
+        fm = run_scenario(
+            f"fm-{buf}", interferer=intf_cfg, policy=FreeMarket(),
+            sim_s=sim_s, seed=seed,
+        )
+        ios = run_scenario(
+            f"ios-{buf}", interferer=intf_cfg, policy=IOShares(),
+            sim_s=sim_s, seed=seed,
+        )
+        label = intf_cfg.label()
+        rows.append(
+            [
+                label,
+                base.breakdown.total_mean,
+                fm.breakdown.total_mean,
+                ios.breakdown.total_mean,
+            ]
+        )
+        extra[label] = {
+            "freemarket": fm.breakdown.total_mean,
+            "ioshares": ios.breakdown.total_mean,
+        }
+    return FigureResult(
+        figure="Fig.9",
+        title="Mean 64KB-VM latency vs interferer buffer size, by policy (us)",
+        headers=["intf buffer", "Base", "FreeMarket", "IOShares"],
+        rows=rows,
+        notes="paper: IOShares outperforms FreeMarket, staying close to base",
+        extra=extra,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Headline claim — "reduce the latency interference by as much as 30%"
+# ---------------------------------------------------------------------------
+def headline_claim(seed: int = 7) -> FigureResult:
+    """The abstract's up-to-30%% interference-reduction claim."""
+    sim_s = 1.5 * scale_factor()
+    intf = run_scenario(
+        "intf", interferer=INTERFERER_2MB, sim_s=sim_s, seed=seed
+    )
+    ios = run_scenario(
+        "ioshares",
+        interferer=INTERFERER_2MB,
+        policy=IOShares(),
+        sim_s=sim_s,
+        seed=seed,
+    )
+    reduction = interference_reduction_pct(
+        intf.breakdown.total_mean, ios.breakdown.total_mean
+    )
+    rows = [
+        ["Interfered mean (us)", intf.breakdown.total_mean],
+        ["IOShares mean (us)", ios.breakdown.total_mean],
+        ["Latency interference reduction (%)", reduction],
+    ]
+    return FigureResult(
+        figure="Headline",
+        title="Abstract claim: latency interference reduced by up to ~30%",
+        headers=["metric", "value"],
+        rows=rows,
+        extra={"reduction_pct": reduction},
+    )
+
+
+ALL_FIGURES = {
+    "fig1": fig1_latency_distribution,
+    "fig2": fig2_latency_components,
+    "fig3": fig3_buffer_ratio,
+    "fig4": fig4_cap_sweep,
+    "fig5": fig5_freemarket_timeline,
+    "fig6": fig6_reso_depletion,
+    "fig7": fig7_ioshares_timeline,
+    "fig8": fig8_no_interference,
+    "fig9": fig9_buffer_size_response,
+    "headline": headline_claim,
+}

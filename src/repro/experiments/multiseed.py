@@ -1,0 +1,84 @@
+"""Multi-seed replication: confidence intervals for scenario outcomes.
+
+One deterministic run is a single sample of the (seeded) stochastic
+workload.  For robustness claims — "IOShares keeps the victim within X
+of base" — replicate the scenario across seeds and report the spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.experiments.scenarios import run_scenario
+
+
+@dataclass(frozen=True)
+class Replication:
+    """Aggregate of one metric across seeds."""
+
+    name: str
+    seeds: tuple
+    values: tuple
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values, ddof=1)) if len(self.values) > 1 else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.values))
+
+    def ci95_halfwidth(self) -> float:
+        """Normal-approximation 95% confidence half-width of the mean."""
+        n = len(self.values)
+        if n < 2:
+            return float("nan")
+        return 1.96 * self.std / np.sqrt(n)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Replication {self.name!r} {self.mean:.1f} "
+            f"+/- {self.ci95_halfwidth():.1f} (n={len(self.values)})>"
+        )
+
+
+def replicate_scenario(
+    name: str,
+    seeds: Sequence[int],
+    **scenario_kwargs,
+) -> Replication:
+    """Run the same scenario across ``seeds``; aggregates the mean
+    server-side total latency (us)."""
+    if not seeds:
+        raise ConfigError("at least one seed is required")
+    values: List[float] = []
+    for seed in seeds:
+        result = run_scenario(f"{name}-s{seed}", seed=seed, **scenario_kwargs)
+        values.append(result.breakdown.total_mean)
+    return Replication(name=name, seeds=tuple(seeds), values=tuple(values))
+
+
+def replicate_comparison(
+    seeds: Sequence[int],
+    configurations: Dict[str, dict],
+) -> Dict[str, Replication]:
+    """Replicate several configurations over the same seeds.
+
+    ``configurations`` maps a label to run_scenario keyword arguments.
+    """
+    return {
+        label: replicate_scenario(label, seeds, **kwargs)
+        for label, kwargs in configurations.items()
+    }

@@ -1,0 +1,191 @@
+"""Scenario builder: the standard experimental configurations (§VII).
+
+Terminology follows the paper: the *reporting VM* runs the
+latency-sensitive 64 KB BenchEx instance on the server host; the
+*interfering VM* runs a larger-buffer instance beside it; their clients
+run on the second host.  The *base case* is the reporting VM alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.stats import LatencySummary
+from repro.benchex import (
+    BenchExConfig,
+    BenchExPair,
+    INTERFERER_2MB,
+    LatencyBreakdown,
+    run_pairs,
+)
+from repro.errors import ConfigError
+from repro.experiments.platform import Testbed
+from repro.resex import (
+    LatencySLA,
+    PricingPolicy,
+    ResExController,
+    policy_by_name,
+)
+from repro.units import SEC
+
+#: The calibrated base-case SLA for the reporting VM (209 us, tight).
+REPORTING_SLA = LatencySLA(
+    base_mean_us=209.0, base_std_us=3.0, threshold_pct=10.0
+)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything the figure builders need from one run."""
+
+    name: str
+    #: Server-side breakdown per reporting VM (one per server pair).
+    breakdowns: List[LatencyBreakdown]
+    #: Pooled reporting-VM latencies (us).
+    latencies_us: np.ndarray
+    #: (completion time ns, latency us) samples of the first reporting VM.
+    samples: List[tuple]
+    #: Controller probe series keyed by name (empty without a policy).
+    probe_series: Dict[str, tuple]
+    #: domid of the interfering VM (None if absent).
+    interferer_domid: Optional[int]
+    sim_time_ns: int
+
+    @property
+    def breakdown(self) -> LatencyBreakdown:
+        return self.breakdowns[0]
+
+    def summary(self) -> LatencySummary:
+        return LatencySummary.from_samples(self.latencies_us)
+
+
+def run_scenario(
+    name: str,
+    *,
+    interferer: Optional[BenchExConfig] = None,
+    policy: "PricingPolicy | str | None" = None,
+    manual_cap: Optional[int] = None,
+    n_servers: int = 1,
+    sim_s: float = 1.5,
+    seed: int = 7,
+    sla: LatencySLA = REPORTING_SLA,
+    reporting_config: Optional[BenchExConfig] = None,
+    interferer_pacer_hz: Optional[float] = None,
+    interferer_start_s: float = 0.0,
+    reso_weights: Optional[Dict[str, float]] = None,
+) -> ScenarioResult:
+    """Run one standard scenario and collect reporting-VM results.
+
+    Parameters mirror the paper's experiment axes: an optional
+    interfering instance, an optional ResEx pricing policy (instance or
+    registry name), an optional *manual* CPU cap on the interfering VM
+    (Figs. 3-4 bypass ResEx and set caps by hand), and the number of
+    collocated reporting servers (Fig. 2).
+
+    Extensions beyond the paper's figures: ``interferer_start_s`` delays
+    the interferer's onset (for measuring policy reaction time), and
+    ``reso_weights`` maps ``{"reporting": w1, "interferer": w2}`` to a
+    priority-weighted Reso distribution (§V-C's unequal shares).
+    """
+    if n_servers < 1:
+        raise ConfigError("n_servers must be >= 1")
+    if isinstance(policy, str):
+        policy = policy_by_name(policy)()
+
+    bed = Testbed.paper_testbed(seed=seed)
+    server_node = bed.node("server-host")
+    client_node = bed.node("client-host")
+
+    base_cfg = reporting_config or BenchExConfig(name="rep", warmup_requests=50)
+    with_agent = policy is not None
+    reporters = [
+        BenchExPair(
+            bed,
+            server_node,
+            client_node,
+            replace(base_cfg, name=f"{base_cfg.name}{i}"),
+            with_agent=with_agent,
+        )
+        for i in range(n_servers)
+    ]
+    pairs: List[BenchExPair] = list(reporters)
+
+    intf_pair = None
+    if interferer is not None:
+        intf_pair = BenchExPair(bed, server_node, client_node, interferer)
+        pairs.append(intf_pair)
+        if manual_cap is not None:
+            server_node.hypervisor.set_cap(intf_pair.server_dom.domid, manual_cap)
+
+    controller = None
+    if policy is not None:
+        weights = None
+        if reso_weights is not None:
+            weights = {}
+            for rep in reporters:
+                weights[rep.server_dom.domid] = reso_weights.get("reporting", 1.0)
+            if intf_pair is not None:
+                weights[intf_pair.server_dom.domid] = reso_weights.get(
+                    "interferer", 1.0
+                )
+        controller = ResExController(server_node, policy, weights=weights)
+        for rep in reporters:
+            controller.monitor(rep.server_dom, agent=rep.agent, sla=sla)
+        if intf_pair is not None:
+            controller.monitor(intf_pair.server_dom)
+        controller.start()
+
+    needs_custom_deploy = intf_pair is not None and (
+        interferer_pacer_hz is not None or interferer_start_s > 0
+    )
+    if needs_custom_deploy:
+        def deploy_all(env):
+            for pair in pairs:
+                yield from pair.deploy()
+            if interferer_pacer_hz is not None:
+                gap_ns = int(SEC / interferer_pacer_hz)
+                intf_pair.client.pacer = lambda now: gap_ns
+            for pair in pairs:
+                if pair is intf_pair and interferer_start_s > 0:
+                    continue
+                pair.start()
+            if interferer_start_s > 0:
+                yield env.timeout(int(interferer_start_s * SEC))
+                intf_pair.start()
+
+        bed.env.process(deploy_all(bed.env), name="deploy")
+        bed.env.run(until=int(sim_s * SEC))
+    else:
+        run_pairs(bed, pairs, until_ns=int(sim_s * SEC))
+
+    breakdowns = [r.server_breakdown() for r in reporters]
+    pooled = np.concatenate(
+        [r.server.latencies_us() for r in reporters]
+    ) if reporters else np.array([])
+
+    probe_series: Dict[str, tuple] = {}
+    if controller is not None:
+        for key, series in controller.probes.series.items():
+            probe_series[key] = (series.times, series.values)
+
+    return ScenarioResult(
+        name=name,
+        breakdowns=breakdowns,
+        latencies_us=pooled,
+        samples=[
+            (r.t_cycle_start, r.total_us) for r in reporters[0].server.records
+        ],
+        probe_series=probe_series,
+        interferer_domid=intf_pair.server_dom.domid if intf_pair else None,
+        sim_time_ns=bed.env.now,
+    )
+
+
+def _deploy(pairs: List[BenchExPair]):
+    for pair in pairs:
+        yield from pair.deploy()
+    for pair in pairs:
+        pair.start()

@@ -1,0 +1,45 @@
+"""Financial algorithms library (the BenchEx processing kernel)."""
+
+from repro.finance.binomial import crr_price
+from repro.finance.black_scholes import (
+    call_price,
+    d1_d2,
+    delta,
+    gamma,
+    put_call_parity_gap,
+    put_price,
+    rho,
+    theta,
+    vega,
+)
+from repro.finance.implied_vol import implied_vol
+from repro.finance.monte_carlo import MCResult, gbm_terminal, mc_european
+from repro.finance.workload import (
+    NS_PER_OPTION,
+    PricingRequest,
+    PricingResult,
+    compute_cost_ns,
+    process_request,
+)
+
+__all__ = [
+    "MCResult",
+    "NS_PER_OPTION",
+    "PricingRequest",
+    "PricingResult",
+    "call_price",
+    "compute_cost_ns",
+    "crr_price",
+    "d1_d2",
+    "delta",
+    "gamma",
+    "gbm_terminal",
+    "implied_vol",
+    "mc_european",
+    "process_request",
+    "put_call_parity_gap",
+    "put_price",
+    "rho",
+    "theta",
+    "vega",
+]

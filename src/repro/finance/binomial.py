@@ -1,0 +1,62 @@
+"""Cox-Ross-Rubinstein binomial trees (European and American)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FinanceError
+
+
+def crr_price(
+    S: float,
+    K: float,
+    r: float,
+    sigma: float,
+    T: float,
+    steps: int = 200,
+    kind: str = "call",
+    american: bool = False,
+    q: float = 0.0,
+) -> float:
+    """Binomial option value on a recombining CRR lattice.
+
+    Vectorised backward induction: the whole layer is updated with one
+    NumPy expression per step (guide: avoid per-node Python loops).
+    """
+    if steps < 1:
+        raise FinanceError(f"steps must be >= 1, got {steps}")
+    if kind not in ("call", "put"):
+        raise FinanceError(f"unknown option kind: {kind!r}")
+    if S <= 0 or K <= 0 or sigma <= 0 or T <= 0:
+        raise FinanceError("S, K, sigma, T must all be positive")
+
+    dt = T / steps
+    u = np.exp(sigma * np.sqrt(dt))
+    d = 1.0 / u
+    disc = np.exp(-r * dt)
+    p = (np.exp((r - q) * dt) - d) / (u - d)
+    if not (0.0 < p < 1.0):
+        raise FinanceError(
+            f"risk-neutral probability {p:.4f} outside (0,1); "
+            "increase steps or check parameters"
+        )
+
+    # Terminal layer: S * u^j * d^(n-j), j = 0..n.
+    j = np.arange(steps + 1)
+    prices = S * u**j * d ** (steps - j)
+    if kind == "call":
+        values = np.maximum(prices - K, 0.0)
+    else:
+        values = np.maximum(K - prices, 0.0)
+
+    for step in range(steps - 1, -1, -1):
+        values = disc * (p * values[1:] + (1.0 - p) * values[:-1])
+        if american:
+            jj = np.arange(step + 1)
+            prices = S * u**jj * d ** (step - jj)
+            if kind == "call":
+                exercise = np.maximum(prices - K, 0.0)
+            else:
+                exercise = np.maximum(K - prices, 0.0)
+            values = np.maximum(values, exercise)
+    return float(values[0])

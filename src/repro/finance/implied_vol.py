@@ -1,0 +1,75 @@
+"""Implied volatility: Newton's method with a bisection fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FinanceError
+from repro.finance.black_scholes import call_price, put_price, vega
+
+
+def _intrinsic_bounds(S: float, K: float, r: float, T: float, kind: str):
+    disc_k = K * np.exp(-r * T)
+    if kind == "call":
+        lower = max(S - disc_k, 0.0)
+        upper = S
+    else:
+        lower = max(disc_k - S, 0.0)
+        upper = disc_k
+    return lower, upper
+
+
+def implied_vol(
+    price: float,
+    S: float,
+    K: float,
+    r: float,
+    T: float,
+    kind: str = "call",
+    tol: float = 1e-8,
+    max_iter: int = 100,
+) -> float:
+    """Invert Black-Scholes for sigma.
+
+    Newton iterations from sigma=0.2; if the derivative degenerates or
+    iterates escape (0, 5], falls back to bisection.  Raises
+    :class:`FinanceError` if the price violates static no-arbitrage
+    bounds.
+    """
+    if kind not in ("call", "put"):
+        raise FinanceError(f"unknown option kind: {kind!r}")
+    pricer = call_price if kind == "call" else put_price
+    lower, upper = _intrinsic_bounds(S, K, r, T, kind)
+    if not (lower - 1e-12 <= price <= upper + 1e-12):
+        raise FinanceError(
+            f"price {price} outside no-arbitrage bounds [{lower}, {upper}]"
+        )
+
+    sigma = 0.2
+    for _ in range(max_iter):
+        model = float(pricer(S, K, r, sigma, T))
+        diff = model - price
+        if abs(diff) < tol:
+            return sigma
+        v = float(vega(S, K, r, sigma, T))
+        if v < 1e-12:
+            break  # flat region: bisection fallback
+        step = diff / v
+        nxt = sigma - step
+        if not (1e-6 < nxt <= 5.0):
+            break
+        sigma = nxt
+
+    # Bisection on [1e-6, 5].
+    lo, hi = 1e-6, 5.0
+    f_lo = float(pricer(S, K, r, lo, T)) - price
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        f_mid = float(pricer(S, K, r, mid, T)) - price
+        if abs(f_mid) < tol:
+            return mid
+        if (f_lo < 0) == (f_mid < 0):
+            lo, f_lo = mid, f_mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

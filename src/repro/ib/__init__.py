@@ -1,0 +1,31 @@
+"""InfiniBand substrate: verbs, QPs, CQs, TPT, UAR doorbells, HCA engine."""
+
+from repro.ib.cq import CQE, CompletionQueue, WCOpcode, WCStatus
+from repro.ib.hca import HCA
+from repro.ib.mr import Access, MemoryRegion
+from repro.ib.params import DEFAULT_FABRIC_PARAMS, FabricParams
+from repro.ib.qp import Opcode, QPState, QueuePair, RecvWR, SendWR
+from repro.ib.tpt import TPT
+from repro.ib.uar import UARPage
+from repro.ib.verbs import IBContext, connect
+
+__all__ = [
+    "Access",
+    "CQE",
+    "CompletionQueue",
+    "DEFAULT_FABRIC_PARAMS",
+    "FabricParams",
+    "HCA",
+    "IBContext",
+    "MemoryRegion",
+    "Opcode",
+    "QPState",
+    "QueuePair",
+    "RecvWR",
+    "SendWR",
+    "TPT",
+    "UARPage",
+    "WCOpcode",
+    "WCStatus",
+    "connect",
+]

@@ -1,0 +1,86 @@
+"""Fabric and HCA timing/geometry parameters.
+
+Defaults follow the paper's testbed (§VII): Mellanox MT25208 HCAs on a
+10 Gbps Xsigo VP780 switch.  10 Gbps signalling with 8b/10b encoding
+gives 8 Gbps = 1 GiB/s of payload; with the paper's assumed 1 KiB MTU
+the link moves exactly 1 048 576 MTUs per second — the number ResEx
+uses to size the I/O Reso pool (§VI-A2).
+
+Fixed latencies are small constants chosen to land verbs-level small-
+message latency in the few-microsecond range typical of DDR InfiniBand
+through one switch hop; the BenchEx calibration (§ EXPERIMENTS.md)
+builds the 209 us base case on top of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import GiB, KiB, US
+
+
+@dataclass(frozen=True)
+class FabricParams:
+    """Everything the IB substrate needs to know about the wire."""
+
+    #: Payload bandwidth per link direction (bytes/second).
+    link_bytes_per_sec: float = float(GiB)
+    #: Maximum transmission unit; the paper charges I/O "by the MTU".
+    mtu_bytes: int = 1 * KiB
+    #: Doorbell ring -> HCA begins WR fetch (PCIe posted write + arb).
+    doorbell_ns: int = 300
+    #: WR descriptor fetch + DMA setup per work request.
+    wr_fetch_ns: int = 500
+    #: One-way propagation + switch crossing (cut-through).
+    oneway_ns: int = 1_000
+    #: Responder ACK generation time (RC transport).
+    ack_turnaround_ns: int = 500
+    #: DMA write of a CQE into host memory.
+    cqe_write_ns: int = 200
+    #: Guest->dom0 control-path hypercall round trip (split driver).
+    hypercall_ns: int = 10 * US
+    #: Backend (dom0) work per control-path operation.
+    backend_op_ns: int = 20 * US
+    #: Guest CPU cost of building + posting a send WR (incl. doorbell).
+    post_send_cpu_ns: int = 400
+    #: Guest CPU cost of posting a receive WR.
+    post_recv_cpu_ns: int = 300
+    #: Guest CPU cost of one CQ poll check.
+    poll_check_cpu_ns: int = 200
+    #: Guest CPU cost of taking a completion interrupt (event-driven
+    #: completion channel: vector injection + handler + context switch).
+    interrupt_cost_ns: int = 5_000
+
+    def __post_init__(self) -> None:
+        if self.link_bytes_per_sec <= 0:
+            raise ConfigError("link_bytes_per_sec must be > 0")
+        if self.mtu_bytes <= 0:
+            raise ConfigError("mtu_bytes must be > 0")
+        for field in (
+            "doorbell_ns",
+            "wr_fetch_ns",
+            "oneway_ns",
+            "ack_turnaround_ns",
+            "cqe_write_ns",
+            "hypercall_ns",
+            "backend_op_ns",
+            "post_send_cpu_ns",
+            "post_recv_cpu_ns",
+        ):
+            if getattr(self, field) < 0:
+                raise ConfigError(f"{field} must be >= 0")
+
+    @property
+    def mtus_per_second(self) -> float:
+        """Link capacity expressed in MTUs/s (the Reso supply number)."""
+        return self.link_bytes_per_sec / self.mtu_bytes
+
+    def n_mtus(self, nbytes: int) -> int:
+        """Number of MTU packets needed for an ``nbytes`` message."""
+        if nbytes <= 0:
+            return 0
+        return -(-nbytes // self.mtu_bytes)
+
+
+DEFAULT_FABRIC_PARAMS = FabricParams()

@@ -1,0 +1,209 @@
+"""Queue pairs and work requests."""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
+
+from repro.errors import QPError
+from repro.ib.cq import CompletionQueue
+from repro.ib.mr import MemoryRegion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ib.hca import HCA
+
+
+class QPState(enum.Enum):
+    """RC queue-pair state machine (simplified: no SQD/SQE states)."""
+
+    RESET = "reset"
+    INIT = "init"
+    RTR = "rtr"  # ready to receive
+    RTS = "rts"  # ready to send
+    ERROR = "error"
+
+
+class Opcode(enum.Enum):
+    """Posted work-request opcodes."""
+
+    SEND = "send"
+    RDMA_WRITE = "rdma-write"
+    RDMA_WRITE_WITH_IMM = "rdma-write-with-imm"
+    RDMA_READ = "rdma-read"
+
+
+class SendWR:
+    """A send-side work request."""
+
+    __slots__ = (
+        "wr_id",
+        "opcode",
+        "mr",
+        "offset",
+        "length",
+        "remote_rkey",
+        "remote_offset",
+        "imm_data",
+        "signaled",
+        "posted_at",
+        "payload",
+    )
+
+    def __init__(
+        self,
+        wr_id: int,
+        opcode: Opcode,
+        mr: MemoryRegion,
+        offset: int = 0,
+        length: Optional[int] = None,
+        remote_rkey: Optional[int] = None,
+        remote_offset: int = 0,
+        imm_data: Optional[int] = None,
+        signaled: bool = True,
+        payload: object = None,
+    ) -> None:
+        self.wr_id = wr_id
+        self.opcode = opcode
+        self.mr = mr
+        self.offset = offset
+        self.length = mr.nbytes - offset if length is None else length
+        self.remote_rkey = remote_rkey
+        self.remote_offset = remote_offset
+        self.imm_data = imm_data
+        self.signaled = signaled
+        #: Out-of-band stand-in for the transmitted bytes: delivered to
+        #: the receiver's CQE (the simulation does not move real data).
+        self.payload = payload
+        self.posted_at: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"<SendWR id={self.wr_id} {self.opcode.value} len={self.length}>"
+
+
+class RecvWR:
+    """A receive-side work request (a landing buffer for SENDs)."""
+
+    __slots__ = ("wr_id", "mr", "offset", "length", "posted_at")
+
+    def __init__(
+        self,
+        wr_id: int,
+        mr: MemoryRegion,
+        offset: int = 0,
+        length: Optional[int] = None,
+    ) -> None:
+        self.wr_id = wr_id
+        self.mr = mr
+        self.offset = offset
+        self.length = mr.nbytes - offset if length is None else length
+        self.posted_at: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"<RecvWR id={self.wr_id} len={self.length}>"
+
+
+class QueuePair:
+    """One RC queue pair.
+
+    The send queue is drained serially by the HCA (RC transport
+    guarantees ordering), so each QP has at most one message on the
+    wire — which also makes the QP the fairness unit of the link's
+    round-robin arbitration, as on real hardware.
+    """
+
+    def __init__(
+        self,
+        hca: "HCA",
+        qp_num: int,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        max_send_wr: int = 128,
+        max_recv_wr: int = 128,
+        srq=None,
+    ) -> None:
+        self.hca = hca
+        self.qp_num = qp_num
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        #: Shared receive queue; when set, inbound SENDs consume from it
+        #: instead of this QP's own receive queue.
+        self.srq = srq
+        self.max_send_wr = max_send_wr
+        self.max_recv_wr = max_recv_wr
+        self.state = QPState.RESET
+        #: Peer QP once connected (RC).
+        self.peer: Optional["QueuePair"] = None
+        self.send_queue: Deque[SendWR] = deque()
+        self.recv_queue: Deque[RecvWR] = deque()
+        #: Inbound SENDs that arrived before a recv WR was posted (RNR).
+        self.rnr_backlog: Deque[tuple] = deque()
+        #: Owning domain id (set by the verbs layer).
+        self.domid: Optional[int] = None
+        #: Arbitration priority weight (HW flow priority, paper SI).
+        self.flow_weight: float = 1.0
+        #: Lifetime counters.
+        self.sends_posted = 0
+        self.sends_completed = 0
+        self.bytes_sent = 0
+
+    # -- state machine ---------------------------------------------------------
+    def to_init(self) -> None:
+        self._require(QPState.RESET)
+        self.state = QPState.INIT
+
+    def to_rtr(self, peer: "QueuePair") -> None:
+        self._require(QPState.INIT)
+        self.peer = peer
+        self.state = QPState.RTR
+
+    def to_rts(self) -> None:
+        self._require(QPState.RTR)
+        self.state = QPState.RTS
+
+    def to_error(self) -> None:
+        self.state = QPState.ERROR
+
+    def _require(self, expected: QPState) -> None:
+        if self.state is not expected:
+            raise QPError(
+                f"QP {self.qp_num}: invalid transition from {self.state.value} "
+                f"(expected {expected.value})"
+            )
+
+    # -- posting ------------------------------------------------------------------
+    def post_send(self, wr: SendWR) -> None:
+        """Queue a send WR (the doorbell ring happens in the verbs layer)."""
+        if self.state is not QPState.RTS:
+            raise QPError(
+                f"QP {self.qp_num}: cannot post send in state {self.state.value}"
+            )
+        if len(self.send_queue) >= self.max_send_wr:
+            raise QPError(f"QP {self.qp_num}: send queue full")
+        wr.mr.check_range(wr.offset, wr.length)
+        wr.posted_at = self.hca.env.now
+        self.send_queue.append(wr)
+        self.sends_posted += 1
+
+    def post_recv(self, wr: RecvWR) -> None:
+        if self.srq is not None:
+            raise QPError(
+                f"QP {self.qp_num}: attached to an SRQ; post receives there"
+            )
+        if self.state in (QPState.RESET, QPState.ERROR):
+            raise QPError(
+                f"QP {self.qp_num}: cannot post recv in state {self.state.value}"
+            )
+        if len(self.recv_queue) >= self.max_recv_wr:
+            raise QPError(f"QP {self.qp_num}: receive queue full")
+        wr.mr.check_range(wr.offset, wr.length)
+        wr.posted_at = self.hca.env.now
+        self.recv_queue.append(wr)
+        # Satisfy any sender that hit receiver-not-ready.
+        self.hca.drain_rnr_backlog(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<QP {self.qp_num} {self.state.value} sq={len(self.send_queue)} "
+            f"rq={len(self.recv_queue)}>"
+        )

@@ -1,0 +1,51 @@
+"""Shared receive queues (SRQ).
+
+A fan-in server posts one pool of receive WRs serving all of its QPs
+instead of provisioning each connection for its worst case — the verbs
+feature real exchanges rely on to serve hundreds of clients.  Delivery
+consumes from the SRQ; completions still arrive on the *QP's* recv CQ,
+so the server learns which client a request came from via the CQE's
+``qp_num``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque
+
+from repro.errors import QPError
+from repro.ib.qp import RecvWR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ib.hca import HCA
+
+
+class SharedReceiveQueue:
+    """A receive-WR pool shared by any number of QPs."""
+
+    def __init__(self, hca: "HCA", srqn: int, max_wr: int = 1024) -> None:
+        if max_wr < 1:
+            raise QPError(f"SRQ max_wr must be >= 1, got {max_wr}")
+        self.hca = hca
+        self.srqn = srqn
+        self.max_wr = max_wr
+        #: Same structural interface as a QP's receive side, so the HCA
+        #: delivery path treats either uniformly (a "recv sink").
+        self.recv_queue: Deque[RecvWR] = deque()
+        self.rnr_backlog: Deque[tuple] = deque()
+        #: Owning domain (set by the verbs layer).
+        self.domid = None
+        #: Lifetime counter.
+        self.recvs_posted = 0
+
+    def post_recv(self, wr: RecvWR) -> None:
+        if len(self.recv_queue) >= self.max_wr:
+            raise QPError(f"SRQ {self.srqn}: receive queue full")
+        wr.mr.check_range(wr.offset, wr.length)
+        wr.posted_at = self.hca.env.now
+        self.recv_queue.append(wr)
+        self.recvs_posted += 1
+        self.hca.drain_rnr_backlog(self)
+
+    def __repr__(self) -> str:
+        return f"<SRQ {self.srqn} posted={len(self.recv_queue)}>"

@@ -1,0 +1,80 @@
+"""Translation and Protection Table (TPT).
+
+The HCA-resident table mapping registration keys to buffer address
+ranges and access rights (paper §III).  Every data-path operation is
+validated against it; key or range mismatches surface as protection
+faults, exactly the checks that make user-level (VMM-bypass) I/O safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.errors import ProtectionFault
+from repro.hw.memory import Buffer
+from repro.ib.mr import Access, MemoryRegion
+
+
+class TPT:
+    """Key-indexed registry of memory regions for one HCA."""
+
+    #: Keys are drawn from a counter mixed with this stride so that lkey
+    #: and rkey values of different MRs never collide.
+    _KEY_STRIDE = 0x100
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, MemoryRegion] = {}
+        self._next_key = 0x1000
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[MemoryRegion]:
+        # Each MR is indexed twice (lkey and rkey); deduplicate.
+        seen = set()
+        for mr in self._entries.values():
+            if id(mr) not in seen:
+                seen.add(id(mr))
+                yield mr
+
+    def register(self, buffer: Buffer, access: Access, domid: int) -> MemoryRegion:
+        """Create a TPT entry for ``buffer`` and pin its pages."""
+        lkey = self._next_key
+        rkey = self._next_key + 1
+        self._next_key += self._KEY_STRIDE
+        mr = MemoryRegion(buffer, lkey, rkey, access, domid)
+        self._entries[lkey] = mr
+        self._entries[rkey] = mr
+        buffer.address_space.pin_range(buffer.gpfn_start, buffer.nframes)
+        return mr
+
+    def deregister(self, mr: MemoryRegion) -> None:
+        """Remove the entry and unpin the pages."""
+        if not mr.valid:
+            raise ProtectionFault("memory region already deregistered")
+        mr.valid = False
+        self._entries.pop(mr.lkey, None)
+        self._entries.pop(mr.rkey, None)
+        mr.buffer.address_space.unpin_range(
+            mr.buffer.gpfn_start, mr.buffer.nframes
+        )
+
+    def lookup_local(self, lkey: int) -> MemoryRegion:
+        mr = self._entries.get(lkey)
+        if mr is None or mr.lkey != lkey:
+            raise ProtectionFault(f"bad lkey {lkey:#x}")
+        return mr
+
+    def lookup_remote(self, rkey: int, need: Access) -> MemoryRegion:
+        """Validate a remote key carries the needed remote permission."""
+        mr = self._entries.get(rkey)
+        if mr is None or mr.rkey != rkey:
+            raise ProtectionFault(f"bad rkey {rkey:#x}")
+        if need not in mr.access:
+            raise ProtectionFault(
+                f"rkey {rkey:#x} lacks {need!r} permission"
+            )
+        return mr
+
+    def __repr__(self) -> str:
+        return f"<TPT entries={len(self)}>"

@@ -1,0 +1,42 @@
+"""User Access Region (UAR) doorbell pages.
+
+Each process gets a 4 KiB I/O page mapped into its address space; to
+issue a work request it "rings a doorbell" by writing to that page
+(paper §III).  The write reaches the HCA directly — no hypervisor
+involvement — which is the essence of VMM-bypass.  The doorbell record
+counts per QP are visible through the page's frame content, so an
+introspecting observer could also watch posting activity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.hw.memory import Buffer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ib.hca import HCA
+
+
+class UARPage:
+    """Doorbell page for one context (one guest process/VM)."""
+
+    def __init__(self, hca: "HCA", uar_index: int, page: Buffer) -> None:
+        self.hca = hca
+        self.uar_index = uar_index
+        self.page = page
+        #: qp_num -> number of doorbells rung (monotonic).
+        self.doorbell_counts: Dict[int, int] = {}
+        frame = page.address_space.translate(page.gpfn_start)
+        frame.content = self
+
+    def ring(self, qp_num: int) -> None:
+        """Write a doorbell record; the HCA picks the QP up for service."""
+        self.doorbell_counts[qp_num] = self.doorbell_counts.get(qp_num, 0) + 1
+        self.hca.on_doorbell(qp_num)
+
+    def total_doorbells(self) -> int:
+        return sum(self.doorbell_counts.values())
+
+    def __repr__(self) -> str:
+        return f"<UAR {self.uar_index} doorbells={self.total_doorbells()}>"

@@ -1,0 +1,5 @@
+"""IBMon: introspection-based monitoring of VMM-bypass IB devices."""
+
+from repro.ibmon.monitor import IBMon, IBMonStats
+
+__all__ = ["IBMon", "IBMonStats"]

@@ -1,0 +1,38 @@
+"""ResEx: congestion-pricing resource management (the paper's core)."""
+
+from repro.resex.controller import MonitoredVM, ResExController
+from repro.resex.federation import Follower, ResExFederation
+from repro.resex.freemarket import FreeMarket
+from repro.resex.hwshares import HwShares
+from repro.resex.interference import InterferenceDetector, LatencySLA
+from repro.resex.ioshares import IOShares
+from repro.resex.policy import (
+    NoOpPolicy,
+    PricingPolicy,
+    policy_by_name,
+    register_policy,
+    registered_policies,
+)
+from repro.resex.resos import ResoAccount, ResoParams, provision_accounts
+from repro.resex.static_ratio import StaticRatio
+
+__all__ = [
+    "Follower",
+    "FreeMarket",
+    "HwShares",
+    "IOShares",
+    "ResExFederation",
+    "InterferenceDetector",
+    "LatencySLA",
+    "MonitoredVM",
+    "NoOpPolicy",
+    "PricingPolicy",
+    "ResExController",
+    "ResoAccount",
+    "ResoParams",
+    "StaticRatio",
+    "policy_by_name",
+    "provision_accounts",
+    "register_policy",
+    "registered_policies",
+]

@@ -1,0 +1,99 @@
+"""Federated ResEx: coordinating controllers across hosts.
+
+The paper's experiments run ResEx on the server host only, but an
+interfering application has two halves: its server VM (big responses,
+server-host egress) and its client VM (big requests, server-host
+*ingress*) — the latter on a machine the server-side controller cannot
+touch.  The authors' companion work (ACT [9]) coordinates managers
+across machines; this module implements that deployment:
+
+* :class:`Follower` — a pricing policy that charges and actuates from
+  externally-imposed charge rates (no local interference detection).
+* :class:`ResExFederation` — a relay that periodically copies the
+  congestion price of each *primary* (detected interferer) VM to its
+  *linked* VM under another controller, modelling the cross-host
+  control message with a small propagation delay.
+
+With the interferer priced on both hosts, its inbound request stream
+throttles along with its responses, removing the residual ingress
+interference a single-sided deployment leaves behind.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.errors import PricingError
+from repro.resex.ioshares import IOShares
+from repro.resex.policy import register_policy
+from repro.units import US
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resex.controller import MonitoredVM, ResExController
+
+
+@register_policy
+class Follower(IOShares):
+    """Applies congestion prices imposed by a federation, detecting
+    nothing locally.  Charging, depletion capping and the congestion
+    cap (100 / rate) are identical to IOShares."""
+
+    name = "follower"
+
+    def on_interval(self, controller: "ResExController") -> None:
+        for vm in controller.vms:
+            self._charge_and_actuate(controller, vm)
+
+
+class ResExFederation:
+    """Relays charge rates between controllers on different hosts."""
+
+    def __init__(
+        self,
+        env,
+        sync_interval_ns: int = 1_000_000,
+        propagation_ns: int = 50 * US,
+    ) -> None:
+        if sync_interval_ns <= 0:
+            raise PricingError("sync interval must be positive")
+        self.env = env
+        self.sync_interval_ns = sync_interval_ns
+        self.propagation_ns = propagation_ns
+        self._links: List[Tuple] = []
+        self.syncs = 0
+        self._proc = None
+
+    def link(
+        self,
+        primary: Tuple["ResExController", int],
+        follower: Tuple["ResExController", int],
+    ) -> None:
+        """Propagate the charge rate of ``primary``'s domain to
+        ``follower``'s domain every sync interval."""
+        p_ctl, p_domid = primary
+        f_ctl, f_domid = follower
+        if p_ctl is f_ctl:
+            raise PricingError("federation links join distinct controllers")
+        # Validate both ends exist now rather than at first sync.
+        p_ctl.vm_by_domid(p_domid)
+        f_ctl.vm_by_domid(f_domid)
+        self._links.append((p_ctl, p_domid, f_ctl, f_domid))
+
+    def start(self) -> None:
+        if not self._links:
+            raise PricingError("no federation links configured")
+        if self._proc is None:
+            self._proc = self.env.process(self._run(), name="resex-federation")
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.sync_interval_ns)
+            # One cross-host control message per sync round.
+            yield self.env.timeout(self.propagation_ns)
+            for p_ctl, p_domid, f_ctl, f_domid in self._links:
+                rate = p_ctl.vm_by_domid(p_domid).charge_rate
+                f_ctl.vm_by_domid(f_domid).charge_rate = rate
+            self.syncs += 1
+
+    def __repr__(self) -> str:
+        return f"<ResExFederation links={len(self._links)} syncs={self.syncs}>"

@@ -1,0 +1,104 @@
+"""FreeMarket: fixed prices, maximum resource utilization (Algorithm 1).
+
+Every VM pays the same rate for what it uses; a VM with Resos left may
+always buy.  When a VM's balance falls below the low-water fraction
+while a meaningful part of the epoch remains, its CPU allocation is
+reduced; the epoch replenish restores it.  This scheme is
+work-conserving — it never looks at latency, so it bounds aggregate
+usage without eliminating congestion (§VII-D).
+
+The paper notes "there are multiple ways in order to reduce the CPU
+when the VM runs out of Resos but those are beyond the scope of this
+paper" (§VI-B).  This implementation makes that choice pluggable via
+``depletion_mode``:
+
+* ``"gradual"`` — the paper's rated capping: walk the cap down by
+  ``cap_decrement`` points per interval (Fig. 6).
+* ``"hard"`` — drop straight to the floor on first violation (the
+  "abruptly stop" strawman the paper avoids).
+* ``"proportional"`` — cap proportional to the remaining balance
+  fraction relative to the low-water mark (smooth analog control).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.errors import PricingError
+from repro.resex.policy import PricingPolicy, register_policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resex.controller import MonitoredVM, ResExController
+
+DEPLETION_MODES = ("gradual", "hard", "proportional")
+
+
+@register_policy
+class FreeMarket(PricingPolicy):
+    """The maximize-resource-utilization pricing scheme."""
+
+    name = "freemarket"
+
+    def __init__(
+        self,
+        low_water_fraction: float = 0.10,
+        min_epoch_fraction: float = 0.10,
+        cap_decrement: int = 10,
+        cap_floor: int = 10,
+        depletion_mode: str = "gradual",
+    ) -> None:
+        if not 0 < low_water_fraction < 1:
+            raise PricingError("low_water_fraction must be in (0, 1)")
+        if not 0 <= min_epoch_fraction < 1:
+            raise PricingError("min_epoch_fraction must be in [0, 1)")
+        if cap_decrement < 1:
+            raise PricingError("cap_decrement must be >= 1")
+        if not 1 <= cap_floor <= 100:
+            raise PricingError("cap_floor must be in [1, 100]")
+        if depletion_mode not in DEPLETION_MODES:
+            raise PricingError(
+                f"depletion_mode must be one of {DEPLETION_MODES}, "
+                f"got {depletion_mode!r}"
+            )
+        self.low_water_fraction = low_water_fraction
+        self.min_epoch_fraction = min_epoch_fraction
+        self.cap_decrement = cap_decrement
+        self.cap_floor = cap_floor
+        self.depletion_mode = depletion_mode
+
+    # Algorithm 1 body.
+    def on_interval(self, controller: "ResExController") -> None:
+        p = controller.reso_params
+        for vm in controller.vms:
+            ib_mtus = controller.get_mtus(vm)
+            cpu_pct = controller.get_cpu_percent(vm)
+            ib_resos = ib_mtus * p.io_resos_per_mtu
+            cpu_resos = cpu_pct * p.cpu_resos_per_percent
+            cap = self._get_cpu_cap(controller, vm)
+            assert vm.account is not None
+            vm.account.deduct(ib_resos + cpu_resos)
+            controller.set_cap(vm, cap)
+
+    def _get_cpu_cap(self, controller: "ResExController", vm: "MonitoredVM") -> int:
+        """GetCPUCap: reduce the cap while the balance is low and the
+        epoch is young enough for throttling to matter."""
+        assert vm.account is not None
+        cap = controller.get_cap(vm)
+        depleted = (
+            vm.account.fraction_remaining < self.low_water_fraction
+            and controller.epoch_fraction_remaining > self.min_epoch_fraction
+        )
+        if not depleted:
+            return cap
+        if self.depletion_mode == "gradual":
+            return max(cap - self.cap_decrement, self.cap_floor)
+        if self.depletion_mode == "hard":
+            return self.cap_floor
+        # proportional: 100% at the low-water mark, floor at zero balance.
+        fraction = vm.account.fraction_remaining / self.low_water_fraction
+        return max(round(100 * fraction), self.cap_floor)
+
+    def on_epoch(self, controller: "ResExController") -> None:
+        """Replenished accounts buy back full speed."""
+        for vm in controller.vms:
+            controller.set_cap(vm, 100)

@@ -1,0 +1,65 @@
+"""HwShares: congestion pricing actuated through HCA rate limits.
+
+The paper's §I observes that "newer generation InfiniBand cards allow
+controls such as setting a limit on bandwidth for different traffic
+flows" — but ResEx deliberately works without them, because commodity
+VMM-bypass deployments could not assume such hardware, leaving the CPU
+cap as the hypervisor's only lever.
+
+This policy is the counterfactual: identical sensing and pricing to
+:class:`~repro.resex.ioshares.IOShares` (agent latencies, IBMon MTU
+shares, ``r' = IOShare x IntfPercent``), but the actuation is a
+hardware bandwidth limit on the interfering domain's flows:
+
+    limit = link_rate / charge_rate
+
+CPU caps stay at 100.  The ablation bench compares the two actuators:
+hardware limiting throttles the *flow* directly, so it achieves the
+same victim protection without starving the interferer's CPU — at the
+price of requiring hardware the paper's platform did not have.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.resex.ioshares import IOShares
+from repro.resex.policy import register_policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resex.controller import MonitoredVM, ResExController
+
+
+@register_policy
+class HwShares(IOShares):
+    """IOShares pricing with hardware rate-limit actuation."""
+
+    name = "hw-shares"
+
+    def __init__(self, min_limit_bytes_per_sec: float = 8e6, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if min_limit_bytes_per_sec <= 0:
+            raise ValueError("min_limit_bytes_per_sec must be > 0")
+        self.min_limit = min_limit_bytes_per_sec
+
+    def _combined_cap(self, controller: "ResExController", vm: "MonitoredVM") -> int:
+        """Actuate through the HCA instead of the scheduler.
+
+        Purely bandwidth-actuated: Reso accounts still drain (the
+        currency is unchanged), but enforcement never touches the CPU —
+        the clean counterfactual to the paper's cap-only platform.
+        """
+        hca = controller.node.hca
+        if vm.charge_rate > 1.0:
+            link_rate = hca.params.link_bytes_per_sec
+            limit = max(link_rate / vm.charge_rate, self.min_limit)
+            hca.set_domain_rate_limit(vm.domid, limit)
+        else:
+            hca.set_domain_rate_limit(vm.domid, None)
+        return 100
+
+    def on_epoch(self, controller: "ResExController") -> None:
+        for vm in controller.vms:
+            controller.set_cap(vm, 100)
+            if vm.charge_rate <= 1.0:
+                controller.node.hca.set_domain_rate_limit(vm.domid, None)

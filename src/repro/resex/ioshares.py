@@ -1,0 +1,126 @@
+"""IOShares: congestion pricing for lower latency variation (Algorithm 2).
+
+When a managed VM reports latencies violating its SLA, the policy finds
+the interfering VM (largest recent MTUsSent), raises that VM's charge
+rate by
+
+    r' = IOShare x IntfPercent
+
+where IOShare is the interferer's fraction of all MTUs sent and
+IntfPercent the victim's percentage latency degradation, and lowers the
+interferer's CPU cap to
+
+    NewCap = 100 x base_rate / (base_rate + accumulated r')
+            = 100 / charge_rate
+
+— the congestion-pricing translation of "heavy users pay more" into the
+hypervisor's only actuator.  The interferer is also *charged* at the
+elevated rate, so its Reso account drains faster and FreeMarket-style
+depletion capping kicks in sooner.
+
+When no violation is attributed to a VM, its rate decays exponentially
+back toward the base rate — this is the back-off behaviour Fig. 8
+demonstrates for the no-interference cases.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import PricingError
+from repro.resex.freemarket import FreeMarket
+from repro.resex.policy import register_policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resex.controller import MonitoredVM, ResExController
+
+
+@register_policy
+class IOShares(FreeMarket):
+    """The lower-latency-variation pricing scheme."""
+
+    name = "ioshares"
+
+    def __init__(
+        self,
+        rate_decay: float = 0.90,
+        max_rate: float = 100.0,
+        congestion_cap_floor: int = 2,
+        **freemarket_kwargs,
+    ) -> None:
+        super().__init__(**freemarket_kwargs)
+        if not 0.0 <= rate_decay < 1.0:
+            raise PricingError("rate_decay must be in [0, 1)")
+        if max_rate < 1.0:
+            raise PricingError("max_rate must be >= 1")
+        if not 1 <= congestion_cap_floor <= 100:
+            raise PricingError("congestion_cap_floor must be in [1, 100]")
+        self.rate_decay = rate_decay
+        self.max_rate = max_rate
+        self.congestion_cap_floor = congestion_cap_floor
+
+    # Algorithm 2 body.
+    def on_interval(self, controller: "ResExController") -> None:
+        p = controller.reso_params
+        # Which VMs get a rate increase this interval (others decay).
+        raised = set()
+
+        for vm in controller.vms:
+            if vm.detector is None:
+                continue
+            io_intf_pct = controller.get_io_intf(vm)  # GetIOIntf
+            if io_intf_pct <= 0.0:
+                continue
+            interferer = controller.get_io_intf_vm(vm)  # GetIOIntfVMId
+            if interferer is None:
+                continue
+            io_share = controller.get_io_share(vm, interferer)  # GetIOShare
+            if io_share <= 0.0:
+                continue
+            r_prime = io_share * io_intf_pct  # ChangeIBRate
+            interferer.charge_rate = min(
+                interferer.charge_rate + r_prime, self.max_rate
+            )
+            raised.add(interferer.domid)
+
+        for vm in controller.vms:
+            if vm.domid not in raised and vm.charge_rate > 1.0:
+                vm.charge_rate = 1.0 + (vm.charge_rate - 1.0) * self.rate_decay
+                if vm.charge_rate < 1.001:
+                    vm.charge_rate = 1.0
+            self._charge_and_actuate(controller, vm)
+
+    def _charge_and_actuate(self, controller: "ResExController", vm) -> None:
+        """Deduct Resos at the VM's current rate and apply the cap."""
+        p = controller.reso_params
+        ib_resos = controller.get_mtus(vm) * p.io_resos_per_mtu * vm.charge_rate
+        cpu_resos = (
+            controller.get_cpu_percent(vm)
+            * p.cpu_resos_per_percent
+            * vm.charge_rate
+        )
+        assert vm.account is not None
+        vm.account.deduct(ib_resos + cpu_resos)
+        controller.set_cap(vm, self._combined_cap(controller, vm))
+
+    def _combined_cap(self, controller: "ResExController", vm: "MonitoredVM") -> int:
+        """Congestion cap (100 / rate) combined with the depletion walk."""
+        depletion_cap = self._get_cpu_cap(controller, vm)
+        if vm.charge_rate <= 1.0:
+            return depletion_cap
+        congestion_cap = max(
+            round(100.0 / vm.charge_rate), self.congestion_cap_floor
+        )
+        return min(depletion_cap, congestion_cap)
+
+    def on_epoch(self, controller: "ResExController") -> None:
+        """Replenish lifts depletion caps; congestion caps persist at
+        whatever the current charge rate dictates."""
+        for vm in controller.vms:
+            if vm.charge_rate > 1.0:
+                cap = max(
+                    round(100.0 / vm.charge_rate), self.congestion_cap_floor
+                )
+            else:
+                cap = 100
+            controller.set_cap(vm, cap)

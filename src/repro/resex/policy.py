@@ -1,0 +1,84 @@
+"""The pricing-policy plugin interface (paper §V-D).
+
+A policy sees the controller once per interval and once per epoch, and
+actuates exclusively through ``controller.set_cap`` — mirroring the
+real system, where adjusting CPU allocations is the hypervisor's only
+lever over VMM-bypass I/O.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, Type
+
+from repro.errors import PricingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resex.controller import MonitoredVM, ResExController
+
+
+class PricingPolicy(abc.ABC):
+    """Base class for Reso pricing schemes."""
+
+    #: Registry name; subclasses set this.
+    name: str = "abstract"
+
+    def on_attach(self, controller: "ResExController", vm: "MonitoredVM") -> None:
+        """Called when a VM comes under management (optional hook)."""
+
+    @abc.abstractmethod
+    def on_interval(self, controller: "ResExController") -> None:
+        """The per-interval loop body (Algorithms 1 and 2)."""
+
+    def on_epoch(self, controller: "ResExController") -> None:
+        """Called after accounts replenish at each epoch boundary."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class NoOpPolicy(PricingPolicy):
+    """Monitors and charges nothing — the uncontrolled baseline.
+
+    Useful as the 'Intf' configuration of the paper's figures: ResEx
+    machinery present, no resource management.
+    """
+
+    name = "noop"
+
+    def on_interval(self, controller: "ResExController") -> None:
+        # Still drain the monitoring channels so probes are recorded.
+        for vm in controller.vms:
+            controller.get_mtus(vm)
+            controller.get_cpu_percent(vm)
+            if vm.agent is not None:
+                vm.agent.drain()
+
+
+_POLICIES: Dict[str, Type[PricingPolicy]] = {}
+
+
+def register_policy(cls: Type[PricingPolicy]) -> Type[PricingPolicy]:
+    """Class decorator adding a policy to the name registry."""
+    if not issubclass(cls, PricingPolicy):
+        raise PricingError(f"{cls!r} is not a PricingPolicy")
+    if cls.name in _POLICIES:
+        raise PricingError(f"duplicate policy name {cls.name!r}")
+    _POLICIES[cls.name] = cls
+    return cls
+
+
+def policy_by_name(name: str) -> Type[PricingPolicy]:
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise PricingError(
+            f"unknown policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None
+
+
+def registered_policies() -> Dict[str, Type[PricingPolicy]]:
+    return dict(_POLICIES)
+
+
+register_policy(NoOpPolicy)

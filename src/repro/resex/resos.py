@@ -1,0 +1,144 @@
+"""Resos: the resource-trading currency (paper §V-C, §VI-A).
+
+One Reso buys one indivisible unit of a physical resource:
+
+* **CPU**: one percent of one interval's CPU time.  With a 1 s epoch of
+  1000 x 1 ms intervals a fully-used CPU costs 100 x 1000 = 100 000
+  Resos per epoch (§VI-A1).
+* **I/O**: one MTU on the wire.  The 8 Gbps effective link moves
+  1 GiB/s = 1 048 576 x 1 KiB MTUs per second, so the link supplies
+  1 048 576 I/O Resos per epoch, shared among the collocated VMs
+  (§VI-A2) — equally by default, or weighted by priority.
+
+Accounts replenish at every epoch; leftovers are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import PricingError
+from repro.ib.params import FabricParams
+from repro.units import MS, SEC
+
+
+@dataclass(frozen=True)
+class ResoParams:
+    """Epoch/interval geometry and unit prices."""
+
+    epoch_ns: int = 1 * SEC
+    interval_ns: int = 1 * MS
+    #: Resos charged per percent of CPU consumed per interval (base rate).
+    cpu_resos_per_percent: float = 1.0
+    #: Resos charged per MTU sent (base rate).
+    io_resos_per_mtu: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.interval_ns <= 0:
+            raise PricingError("interval must be positive")
+        if self.epoch_ns < self.interval_ns:
+            raise PricingError("epoch must be at least one interval")
+        if self.epoch_ns % self.interval_ns != 0:
+            raise PricingError("epoch must be a whole number of intervals")
+
+    @property
+    def intervals_per_epoch(self) -> int:
+        return self.epoch_ns // self.interval_ns
+
+    def cpu_resos_per_epoch(self, ncpus: int = 1) -> float:
+        """Supply side: Resos representing full use of ``ncpus`` CPUs."""
+        return 100.0 * self.intervals_per_epoch * ncpus
+
+    def io_resos_per_epoch(self, fabric: FabricParams) -> float:
+        """Supply side: Resos representing the whole link for an epoch."""
+        return fabric.mtus_per_second * (self.epoch_ns / SEC)
+
+
+class ResoAccount:
+    """One VM's Reso balance."""
+
+    def __init__(self, domid: int, allocation: float) -> None:
+        if allocation <= 0:
+            raise PricingError(f"allocation must be positive, got {allocation}")
+        self.domid = domid
+        self.allocation = float(allocation)
+        self.balance = float(allocation)
+        #: Lifetime counters for analysis.
+        self.total_deducted = 0.0
+        self.epochs_replenished = 0
+        #: Demand the VM could not pay for (balance floor at zero).
+        self.unmet_demand = 0.0
+
+    @property
+    def fraction_remaining(self) -> float:
+        return self.balance / self.allocation
+
+    @property
+    def exhausted(self) -> bool:
+        return self.balance <= 0.0
+
+    def deduct(self, resos: float) -> float:
+        """Charge the account; the balance floors at zero and the unmet
+        remainder is tracked (the VM is throttled rather than indebted)."""
+        if resos < 0:
+            raise PricingError(f"cannot deduct a negative amount: {resos}")
+        paid = min(resos, self.balance)
+        self.balance -= paid
+        self.total_deducted += paid
+        self.unmet_demand += resos - paid
+        return self.balance
+
+    def replenish(self) -> None:
+        """Epoch boundary: restore the allocation, discard leftovers."""
+        self.balance = self.allocation
+        self.epochs_replenished += 1
+
+    def set_allocation(self, allocation: float) -> None:
+        """Re-provision (e.g. priority change); takes effect immediately
+        for the fraction computation and fully at the next replenish."""
+        if allocation <= 0:
+            raise PricingError(f"allocation must be positive, got {allocation}")
+        self.allocation = float(allocation)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResoAccount dom{self.domid} {self.balance:.0f}/"
+            f"{self.allocation:.0f}>"
+        )
+
+
+def provision_accounts(
+    domids: List[int],
+    params: ResoParams,
+    fabric: FabricParams,
+    ncpus_per_vm: int = 1,
+    weights: Optional[Dict[int, float]] = None,
+) -> Dict[int, ResoAccount]:
+    """Distribute the epoch supply across VMs (paper §V-C).
+
+    Each VM gets its own CPU's worth of CPU Resos (the paper dedicates a
+    core per VM) plus a share of the link's I/O Resos — equal shares by
+    default, or proportional to ``weights`` (the priority hook the paper
+    mentions).
+    """
+    if not domids:
+        raise PricingError("no domains to provision")
+    io_pool = params.io_resos_per_epoch(fabric)
+    if weights is None:
+        shares = {d: 1.0 / len(domids) for d in domids}
+    else:
+        missing = [d for d in domids if d not in weights]
+        if missing:
+            raise PricingError(f"weights missing for domains {missing}")
+        total = sum(weights[d] for d in domids)
+        if total <= 0:
+            raise PricingError("weights must sum to a positive value")
+        shares = {d: weights[d] / total for d in domids}
+    return {
+        d: ResoAccount(
+            d,
+            params.cpu_resos_per_epoch(ncpus_per_vm) + io_pool * shares[d],
+        )
+        for d in domids
+    }

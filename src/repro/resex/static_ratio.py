@@ -1,0 +1,66 @@
+"""StaticRatio: the manual buffer-ratio rule as a policy (ablation).
+
+Figures 3-4 establish empirically that setting the interferer's cap to
+``100 / buffer_ratio`` equalizes interference.  This policy applies
+that rule automatically using IBMon's buffer-size inference: every VM
+whose inferred message size exceeds the reference size gets capped at
+``100 x reference / inferred``.  It is the static, feedback-free
+strawman against which the adaptive IOShares is worth comparing —
+ResEx's design space (§V-B) made executable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import PricingError
+from repro.resex.policy import PricingPolicy, register_policy
+from repro.units import KiB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resex.controller import ResExController
+
+
+@register_policy
+class StaticRatio(PricingPolicy):
+    """Cap each VM by the ratio of its buffer size to the reference."""
+
+    name = "static-ratio"
+
+    def __init__(self, reference_bytes: int = 64 * KiB, cap_floor: int = 2) -> None:
+        if reference_bytes < 1:
+            raise PricingError("reference_bytes must be >= 1")
+        if not 1 <= cap_floor <= 100:
+            raise PricingError("cap_floor must be in [1, 100]")
+        self.reference_bytes = reference_bytes
+        self.cap_floor = cap_floor
+
+    def on_interval(self, controller: "ResExController") -> None:
+        for vm in controller.vms:
+            # Keep sensors draining and accounts charged at base rate.
+            mtus = controller.get_mtus(vm)
+            cpu_pct = controller.get_cpu_percent(vm)
+            assert vm.account is not None
+            p = controller.reso_params
+            vm.account.deduct(
+                mtus * p.io_resos_per_mtu + cpu_pct * p.cpu_resos_per_percent
+            )
+            stats_size = self._inferred_size(controller, vm)
+            if stats_size is None or stats_size <= self.reference_bytes:
+                continue
+            ratio = stats_size / self.reference_bytes
+            cap = max(round(100.0 / ratio), self.cap_floor)
+            controller.set_cap(vm, cap)
+
+    def _inferred_size(self, controller: "ResExController", vm) -> "int | None":
+        # IBMon's drain resets counters, so size inference is cached on
+        # the VM state by peeking at the monitor's sticky estimate.
+        monitored = controller.ibmon._vms.get(vm.domid)
+        if monitored is None:
+            return None
+        sizes = [
+            mcq.inferred_bytes
+            for mcq in monitored.cqs
+            if mcq.classification == "send" and mcq.inferred_bytes
+        ]
+        return max(sizes) if sizes else None

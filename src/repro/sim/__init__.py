@@ -1,0 +1,45 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-driven DES in the style of simpy,
+with integer-nanosecond time, FIFO/priority resources, stores, probes,
+and named RNG streams.
+"""
+
+from repro.sim.core import Environment
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.sim.monitor import Counter, ProbeSet, TimeSeries, jitter, sampled_mean
+from repro.sim.process import Process
+from repro.sim.resources import PriorityResource, Request, Resource
+from repro.sim.rng import RngRegistry
+from repro.sim.store import FilterStore, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Counter",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "PriorityResource",
+    "ProbeSet",
+    "Process",
+    "Request",
+    "Resource",
+    "RngRegistry",
+    "Store",
+    "TimeSeries",
+    "Timeout",
+    "jitter",
+    "sampled_mean",
+]

@@ -1,0 +1,172 @@
+"""The discrete-event simulation environment.
+
+Time is an integer number of nanoseconds (see :mod:`repro.units`).  The
+event heap is keyed by ``(time, priority, sequence)`` so execution order
+is fully deterministic for a given program.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError, StopSimulation
+from repro.sim.events import (
+    NORMAL,
+    PENDING,
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+)
+from repro.sim.process import Process, ProcessGenerator
+
+
+class Environment:
+    """Execution environment for a single simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting simulation time in nanoseconds.
+    """
+
+    def __init__(self, initial_time: int = 0) -> None:
+        self._now: int = int(initial_time)
+        self._queue: List[Tuple[int, int, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        self._events_processed: int = 0
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time (ns)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far (kernel statistic)."""
+        return self._events_processed
+
+    @property
+    def queue_length(self) -> int:
+        """Number of scheduled-but-unprocessed events."""
+        return len(self._queue)
+
+    # -- event factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` ns."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event triggering once all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event triggering once any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------------
+    def schedule(self, event: Event, delay: int = 0, priority: int = NORMAL) -> None:
+        """Place a triggered event on the heap ``delay`` ns in the future."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> int:
+        """Time of the next scheduled event, or a huge sentinel if empty."""
+        if not self._queue:
+            return 2**63 - 1
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next event; raises SimulationError if none is left."""
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no scheduled events left") from None
+
+        if when < self._now:  # pragma: no cover - heap invariant guard
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        self._events_processed += 1
+
+        if not event._ok and not getattr(event, "_defused", False):
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(repr(exc))  # pragma: no cover - defensive
+
+    def run(self, until: "int | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``  -> run until the event queue empties.
+            ``int``   -> run until simulation time reaches that value (ns).
+            ``Event`` -> run until the event triggers; returns its value.
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                # Already processed: nothing to run.
+                return stop_event._value
+            stop_event.callbacks.append(_stop_callback)
+        else:
+            at = int(until)
+            if at < self._now:
+                raise SimulationError(
+                    f"until={at} is in the past (now={self._now})"
+                )
+            stop_event = Event(self)
+            stop_event._ok = True
+            stop_event._value = None
+            # Schedule directly at absolute time with lowest priority so
+            # all events at `at` with normal priority run first.
+            self._seq += 1
+            heapq.heappush(self._queue, (at, NORMAL + 1, self._seq, stop_event))
+            stop_event.callbacks = [_stop_callback]  # type: ignore[list-item]
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if isinstance(until, Event) and until._value is PENDING:
+            raise SimulationError(
+                "run(until=event) ended before the event triggered "
+                "(event queue is empty)"
+            )
+        return None
+
+
+def _stop_callback(event: Event) -> None:
+    if event._ok:
+        raise StopSimulation(event._value)
+    raise event._value

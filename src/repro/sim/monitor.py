@@ -1,0 +1,136 @@
+"""Measurement probes: time-series and counters.
+
+Every statistic reported by the benchmark harness flows through these
+recorders so the analysis layer has one uniform representation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+
+class TimeSeries:
+    """An append-only series of (time_ns, value) samples."""
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[int] = []
+        self._values: List[float] = []
+
+    def record(self, time_ns: int, value: float) -> None:
+        """Append one sample; times must be non-decreasing."""
+        if self._times and time_ns < self._times[-1]:
+            raise ValueError(
+                f"non-monotonic sample at {time_ns} (last {self._times[-1]})"
+            )
+        self._times.append(time_ns)
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as an int64 array (ns)."""
+        return np.asarray(self._times, dtype=np.int64)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as a float64 array."""
+        return np.asarray(self._values, dtype=np.float64)
+
+    def last(self) -> Tuple[int, float]:
+        """Most recent (time, value) sample."""
+        if not self._times:
+            raise IndexError(f"time series {self.name!r} is empty")
+        return self._times[-1], self._values[-1]
+
+    def window(self, start_ns: int, end_ns: int) -> np.ndarray:
+        """Values with start <= time < end."""
+        times = self.times
+        mask = (times >= start_ns) & (times < end_ns)
+        return self.values[mask]
+
+    def mean(self) -> float:
+        if not self._values:
+            return float("nan")
+        return float(np.mean(self._values))
+
+    def std(self) -> float:
+        if not self._values:
+            return float("nan")
+        return float(np.std(self._values))
+
+    def percentile(self, q: float) -> float:
+        if not self._values:
+            return float("nan")
+        return float(np.percentile(self._values, q))
+
+
+class Counter:
+    """A monotonically increasing event counter with a cumulative value."""
+
+    __slots__ = ("name", "count", "total")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count: int = 0
+        self.total: float = 0.0
+
+    def add(self, value: float = 1.0) -> None:
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+
+class ProbeSet:
+    """A named collection of series and counters owned by one component."""
+
+    def __init__(self, env: "Environment", prefix: str = "") -> None:
+        self.env = env
+        self.prefix = prefix
+        self.series: Dict[str, TimeSeries] = {}
+        self.counters: Dict[str, Counter] = {}
+
+    def _key(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def ts(self, name: str) -> TimeSeries:
+        """Get-or-create the named time series."""
+        key = self._key(name)
+        if key not in self.series:
+            self.series[key] = TimeSeries(key)
+        return self.series[key]
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the named counter."""
+        key = self._key(name)
+        if key not in self.counters:
+            self.counters[key] = Counter(key)
+        return self.counters[key]
+
+    def record(self, name: str, value: float) -> None:
+        """Record a sample at the current simulation time."""
+        self.ts(name).record(self.env.now, value)
+
+
+def sampled_mean(series: Sequence[float]) -> float:
+    """Mean that tolerates empty sequences (returns NaN)."""
+    arr = np.asarray(series, dtype=np.float64)
+    return float(arr.mean()) if arr.size else float("nan")
+
+
+def jitter(series: Sequence[float]) -> float:
+    """Latency jitter: standard deviation of the sample set."""
+    arr = np.asarray(series, dtype=np.float64)
+    return float(arr.std()) if arr.size else float("nan")

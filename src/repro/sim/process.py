@@ -1,0 +1,145 @@
+"""Generator-driven processes for the discrete-event kernel."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import PENDING, URGENT, Event, Initialize, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process wraps a generator that yields :class:`Event` instances.
+    The process itself is an event that triggers when the generator
+    returns (value = return value) or raises (failure).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None when active).
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is waiting on an event detaches it from that event (the
+        event stays valid and may be re-awaited).
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.callbacks = [self._resume]
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        env = self.env
+        env._active_process = self
+
+        # Detach from the previous target if we were interrupted while
+        # waiting on a still-pending event.
+        if (
+            self._target is not None
+            and self._target is not event
+            and self._target.callbacks is not None
+        ):
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event's exception is thrown into the generator;
+                    # mark it defused so the kernel does not re-raise it.
+                    event._defused = True
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        next_event = self._generator.throw(exc)
+                    else:  # pragma: no cover - defensive
+                        next_event = self._generator.throw(
+                            SimulationError(repr(exc))
+                        )
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                msg = (
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                event = Event(env)
+                event._ok = False
+                event._value = SimulationError(msg)
+                continue
+
+            if next_event.env is not env:
+                event = Event(env)
+                event._ok = False
+                event._value = SimulationError(
+                    "yielded event belongs to a different environment"
+                )
+                continue
+
+            if next_event.callbacks is not None:
+                # Pending or triggered-but-unprocessed: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Already processed: loop around immediately with its outcome.
+            event = next_event
+
+        env._active_process = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {state} at {id(self):#x}>"

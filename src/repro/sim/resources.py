@@ -1,0 +1,139 @@
+"""Shared-resource primitives: Resource and PriorityResource.
+
+These are simpy-style counted resources: a fixed number of slots, FIFO
+(or priority-ordered) wait queues, and request/release events usable
+both with ``with``-style generators and manual pairing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot, or withdraw the request if still queued."""
+        self.resource._do_release(self)
+
+
+class PriorityRequest(Request):
+    """A claim with an explicit priority (lower value = more urgent)."""
+
+    __slots__ = ("priority", "_order")
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0) -> None:
+        self.priority = priority
+        self._order = resource._next_order()
+        super().__init__(resource)
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers once granted."""
+        return Request(self)
+
+    # -- internals ---------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _do_release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        elif request in self.queue:
+            self.queue.remove(request)
+        # Releasing an unknown request is a no-op (idempotent cancel).
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} capacity={self.capacity} "
+            f"used={self.count} queued={len(self.queue)}>"
+        )
+
+
+class PriorityResource(Resource):
+    """A resource whose wait queue is ordered by (priority, arrival)."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: List[Tuple[int, int, PriorityRequest]] = []
+        self._order_counter = 0
+
+    def _next_order(self) -> int:
+        self._order_counter += 1
+        return self._order_counter
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        assert isinstance(request, PriorityRequest)
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            heapq.heappush(self._heap, (request.priority, request._order, request))
+            self.queue.append(request)
+
+    def _do_release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        elif request in self.queue:
+            self.queue.remove(request)
+            self._heap = [entry for entry in self._heap if entry[2] is not request]
+            heapq.heapify(self._heap)
+
+    def _grant_next(self) -> None:
+        while self._heap and len(self.users) < self.capacity:
+            _prio, _order, nxt = heapq.heappop(self._heap)
+            self.queue.remove(nxt)
+            self.users.append(nxt)
+            nxt.succeed()

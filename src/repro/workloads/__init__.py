@@ -1,0 +1,9 @@
+"""Synthetic workload generation (exchange traces, pacing processes)."""
+
+from repro.workloads.traces import (
+    TradingDayConfig,
+    TradingDayTrace,
+    poisson_think_times,
+)
+
+__all__ = ["TradingDayConfig", "TradingDayTrace", "poisson_think_times"]

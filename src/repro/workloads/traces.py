@@ -1,0 +1,93 @@
+"""Synthetic exchange workload traces.
+
+The paper's BenchEx "includes traces which model the I/O and processing
+workloads present in an exchange like ICE" (§IV).  Those traces are
+proprietary, so this module generates the closest synthetic equivalent:
+a trading-day intensity profile — an opening burst, a quieter midday
+Poisson regime, and a closing burst — driving per-request think times
+for the BenchEx client.  The substitution preserves what matters to
+ResEx: time-varying offered load with bursty extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import SEC
+
+
+@dataclass(frozen=True)
+class TradingDayConfig:
+    """Shape of the compressed trading day.
+
+    The simulated 'day' lasts ``day_s`` seconds of simulation time; the
+    opening/closing fractions run at ``burst_factor`` times the midday
+    request rate.
+    """
+
+    day_s: float = 10.0
+    open_fraction: float = 0.15
+    close_fraction: float = 0.15
+    midday_rate_hz: float = 1000.0
+    burst_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.day_s <= 0:
+            raise ConfigError("day_s must be positive")
+        if not 0 <= self.open_fraction < 1 or not 0 <= self.close_fraction < 1:
+            raise ConfigError("open/close fractions must be in [0, 1)")
+        if self.open_fraction + self.close_fraction >= 1:
+            raise ConfigError("open + close fractions must leave a midday")
+        if self.midday_rate_hz <= 0:
+            raise ConfigError("midday_rate_hz must be positive")
+        if self.burst_factor < 1:
+            raise ConfigError("burst_factor must be >= 1")
+
+
+class TradingDayTrace:
+    """Time-varying Poisson arrival process over the trading day."""
+
+    def __init__(self, config: TradingDayConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+
+    def rate_at(self, t_ns: int) -> float:
+        """Instantaneous request rate (Hz) at simulation time ``t_ns``."""
+        cfg = self.config
+        day_ns = cfg.day_s * SEC
+        phase = (t_ns % day_ns) / day_ns
+        if phase < cfg.open_fraction or phase >= 1.0 - cfg.close_fraction:
+            return cfg.midday_rate_hz * cfg.burst_factor
+        return cfg.midday_rate_hz
+
+    def next_gap_ns(self, t_ns: int) -> int:
+        """Exponential inter-arrival gap at the current intensity."""
+        rate = self.rate_at(t_ns)
+        gap_s = self.rng.exponential(1.0 / rate)
+        return max(int(gap_s * SEC), 0)
+
+    def arrivals(self, duration_ns: int) -> np.ndarray:
+        """All arrival times in [0, duration) as an int64 array."""
+        times: List[int] = []
+        t = 0
+        while True:
+            t += self.next_gap_ns(t)
+            if t >= duration_ns:
+                break
+            times.append(t)
+        return np.asarray(times, dtype=np.int64)
+
+
+def poisson_think_times(
+    rate_hz: float, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Plain Poisson pacing: n exponential gaps (ns) at ``rate_hz``."""
+    if rate_hz <= 0:
+        raise ConfigError("rate_hz must be positive")
+    if n < 0:
+        raise ConfigError("n must be >= 0")
+    return (rng.exponential(1.0 / rate_hz, size=n) * SEC).astype(np.int64)

@@ -1,0 +1,26 @@
+"""Xen-like hypervisor substrate: domains, credit scheduler, introspection."""
+
+from repro.xen.credit import DEFAULT_PERIOD_NS, DEFAULT_QUANTUM_NS, PCPUScheduler
+from repro.xen.domain import DOM0_ID, Domain
+from repro.xen.hypervisor import Hypervisor
+from repro.xen.introspect import xc_map_foreign_range
+from repro.xen.splitdriver import IBBackend, IBFrontend
+from repro.xen.vcpu import VCPU, Compute, PollUntil, WorkItem
+from repro.xen.xenstat import XenStat
+
+__all__ = [
+    "DEFAULT_PERIOD_NS",
+    "DEFAULT_QUANTUM_NS",
+    "DOM0_ID",
+    "Compute",
+    "Domain",
+    "Hypervisor",
+    "IBBackend",
+    "IBFrontend",
+    "PCPUScheduler",
+    "PollUntil",
+    "VCPU",
+    "WorkItem",
+    "XenStat",
+    "xc_map_foreign_range",
+]

@@ -1,0 +1,198 @@
+"""Credit scheduler with CPU caps.
+
+Behavioural model of Xen's credit scheduler as ResEx uses it
+(paper §III, §V-B): time is divided into accounting periods (10 ms —
+the "time slice" the paper refers to); within a period a VCPU may
+consume at most ``cap%`` of the period, and otherwise shares the PCPU
+with other runnable VCPUs in proportion to its weight.  The scheduler
+is work-conserving except for caps: a capped-out VCPU is parked until
+the next period even if the PCPU is idle — exactly the semantics that
+let ResEx translate "charge this VM more" into "give it less CPU".
+
+Differences from Xen's credit1 internals (documented simplification):
+credits/UNDER/OVER bookkeeping is replaced by deficit-round-robin over
+``used/weight`` within each period, which yields the same long-run
+weighted shares and identical cap behaviour, with far fewer events.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SchedulerError
+from repro.sim.core import Environment
+from repro.sim.events import Event
+from repro.units import MS
+from repro.xen.vcpu import Compute, PollUntil, VCPU
+
+#: Default accounting period: the 10 ms slice from the paper.
+DEFAULT_PERIOD_NS = 10 * MS
+#: Preemption quantum when several VCPUs compete for one PCPU.
+DEFAULT_QUANTUM_NS = 1 * MS
+
+
+class PCPUScheduler:
+    """Schedules the VCPUs pinned to one physical CPU."""
+
+    def __init__(
+        self,
+        env: Environment,
+        pcpu_id: int,
+        period_ns: int = DEFAULT_PERIOD_NS,
+        quantum_ns: int = DEFAULT_QUANTUM_NS,
+    ) -> None:
+        if period_ns <= 0 or quantum_ns <= 0:
+            raise SchedulerError("period and quantum must be positive")
+        if quantum_ns > period_ns:
+            raise SchedulerError("quantum cannot exceed the period")
+        self.env = env
+        self.pcpu_id = pcpu_id
+        self.period_ns = period_ns
+        self.quantum_ns = quantum_ns
+        self.vcpus: List[VCPU] = []
+        self._work_signal: Optional[Event] = None
+        #: Total time the PCPU spent running guest work (utilization stat).
+        self.busy_ns: int = 0
+        self._proc = env.process(self._run(), name=f"sched-pcpu{pcpu_id}")
+
+    # -- attachment ---------------------------------------------------------
+    def attach(self, vcpu: VCPU) -> None:
+        """Pin ``vcpu`` to this PCPU."""
+        if vcpu.scheduler is not None:
+            raise SchedulerError(f"{vcpu!r} is already attached")
+        vcpu.scheduler = self
+        self.vcpus.append(vcpu)
+        self.notify_work()
+
+    def notify_work(self) -> None:
+        """Wake the scheduler loop if it is idling."""
+        if self._work_signal is not None and not self._work_signal.triggered:
+            self._work_signal.succeed()
+
+    # -- main loop -------------------------------------------------------------
+    def _eligible(self) -> List[VCPU]:
+        return [
+            v
+            for v in self.vcpus
+            if v.has_work() and v.used_in_period < v.cap_budget_ns(self.period_ns)
+        ]
+
+    def _pick(self, eligible: List[VCPU]) -> VCPU:
+        # Virtual-time fairness: clamp waking VCPUs so idleness earns no
+        # credit, then run the smallest virtual time (stable tie-break).
+        running_floor = min(
+            (v.vtime for v in eligible if not v._needs_vtime_clamp),
+            default=None,
+        )
+        for v in eligible:
+            if v._needs_vtime_clamp:
+                if running_floor is not None:
+                    v.vtime = max(v.vtime, running_floor)
+                v._needs_vtime_clamp = False
+        return min(eligible, key=lambda v: (v.vtime, v.vcpu_id))
+
+    def _run(self):
+        env = self.env
+        while True:
+            # --- new accounting period -------------------------------------
+            for v in self.vcpus:
+                v.used_in_period = 0
+            period_end = env.now + self.period_ns
+
+            while env.now < period_end:
+                eligible = self._eligible()
+                if not eligible:
+                    if not any(v.has_work() for v in self.vcpus) and all(
+                        v.used_in_period == 0 for v in self.vcpus
+                    ):
+                        # Idle with a completely untouched period: sleep
+                        # with no timer.  Re-phasing the period on wake is
+                        # harmless because no budget has been consumed —
+                        # never re-phase otherwise, or caps would reset
+                        # whenever a work queue momentarily empties.
+                        self._work_signal = Event(env)
+                        yield self._work_signal
+                        self._work_signal = None
+                        period_end = env.now + self.period_ns
+                        continue
+                    # Capped out, or idle mid-period: wait for work or the
+                    # period boundary (budgets replenish only there).
+                    self._work_signal = Event(env)
+                    yield env.any_of(
+                        [self._work_signal, env.timeout(period_end - env.now)]
+                    )
+                    self._work_signal = None
+                    continue
+
+                vcpu = self._pick(eligible)
+                budget_left = vcpu.cap_budget_ns(self.period_ns) - vcpu.used_in_period
+                horizon = min(budget_left, period_end - env.now)
+                if horizon <= 0:
+                    # Cap boundary rounding: skip to the next period edge.
+                    yield env.timeout(period_end - env.now)
+                    continue
+                # Preempt at quantum granularity only when there is actual
+                # competition; a lone VCPU runs to its budget/period edge.
+                if len(eligible) > 1:
+                    horizon = min(horizon, self.quantum_ns)
+                vcpu._running_since = env.now
+                ran = yield from self._run_vcpu(vcpu, horizon)
+                vcpu._running_since = None
+                vcpu.used_in_period += ran
+                vcpu._cumulative_ns += ran
+                vcpu.vtime += ran / vcpu.weight
+                self.busy_ns += ran
+
+    def _run_vcpu(self, vcpu: VCPU, horizon_ns: int):
+        """Run the VCPU's head work item for at most ``horizon_ns``.
+
+        Returns the CPU time actually consumed.
+        """
+        env = self.env
+        item = vcpu.current_item()
+        assert item is not None
+        if item.started_at is None:
+            item.started_at = env.now
+
+        if isinstance(item, Compute):
+            d = min(horizon_ns, item.remaining)
+            if d > 0:
+                yield env.timeout(d)
+            item.remaining -= d
+            if item.remaining <= 0:
+                vcpu._finish_current()
+            return d
+
+        if isinstance(item, PollUntil):
+            if item.event.callbacks is None or item.event.triggered:
+                # Completion already there: one poll check sees it.
+                d = min(item.check_cost_ns, horizon_ns)
+                d = max(d, 1)
+                yield env.timeout(d)
+                item.polled_ns += d
+                vcpu._finish_current(item.polled_ns)
+                return d
+            start = env.now
+            quantum = env.timeout(horizon_ns)
+            yield env.any_of([quantum, item.event])
+            ran = env.now - start
+            item.polled_ns += ran
+            if item.event.triggered:
+                # Charge the final poll check that observes the CQE.
+                d = item.check_cost_ns
+                yield env.timeout(d)
+                item.polled_ns += d
+                ran += d
+                vcpu._finish_current(item.polled_ns)
+            return ran
+
+        raise SchedulerError(f"unknown work item type: {item!r}")  # pragma: no cover
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of ``elapsed_ns`` spent running guest work."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.busy_ns / elapsed_ns
+
+    def __repr__(self) -> str:
+        return f"<PCPUScheduler pcpu={self.pcpu_id} vcpus={len(self.vcpus)}>"

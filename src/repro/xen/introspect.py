@@ -1,0 +1,33 @@
+"""Virtual memory introspection utilities (xc_map_foreign_range).
+
+Thin convenience layer over
+:meth:`repro.xen.hypervisor.Hypervisor.map_foreign_pages` mirroring the
+XenControl call IBMon is built on: map a gpfn range of a target VM into
+the monitoring application's address space, read-only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.hw.memory import ReadOnlyView
+from repro.xen.domain import Domain
+from repro.xen.hypervisor import Hypervisor
+
+
+def xc_map_foreign_range(
+    hypervisor: Hypervisor,
+    requester: Domain,
+    target_domid: int,
+    start_gpfn: int,
+    nframes: int,
+) -> List[ReadOnlyView]:
+    """Map ``nframes`` pages of ``target_domid`` starting at ``start_gpfn``.
+
+    Returns read-only views of the target's page frames.  The views stay
+    live: content updates made by the "hardware" (HCA DMA writes) are
+    visible to the requester on its next read — which is what makes
+    IBMon's asynchronous sampling possible.
+    """
+    gpfns: Sequence[int] = range(start_gpfn, start_gpfn + nframes)
+    return hypervisor.map_foreign_pages(requester, target_domid, gpfns)

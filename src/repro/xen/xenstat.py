@@ -1,0 +1,57 @@
+"""XenStat-like accounting interface.
+
+ResEx uses the XenStat library to (a) read the CPU time consumed by a
+VM and (b) set its CPU cap (paper §III).  This module exposes exactly
+that contract: cumulative counters that the caller differences per
+interval, plus the cap setter, so the ResEx controller code reads like
+the original.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.xen.hypervisor import Hypervisor
+
+
+class XenStat:
+    """Per-hypervisor accounting facade."""
+
+    def __init__(self, hypervisor: Hypervisor) -> None:
+        self.hypervisor = hypervisor
+        self._last_cpu_ns: Dict[int, int] = {}
+        self._last_read_at: Dict[int, int] = {}
+
+    # -- reading ---------------------------------------------------------------
+    def cpu_time_ns(self, domid: int) -> int:
+        """Cumulative CPU time consumed by the domain (all VCPUs)."""
+        return self.hypervisor.domain(domid).cpu_time_ns
+
+    def cpu_percent_since_last(self, domid: int) -> float:
+        """CPU utilization (0-100, per VCPU-equivalent) since the last call.
+
+        First call for a domain establishes the baseline and returns 0.
+        This is how the ResEx interval loop samples "CPU percent in the
+        interval" (Algorithm 1, line 5).
+        """
+        now = self.hypervisor.env.now
+        current = self.cpu_time_ns(domid)
+        last = self._last_cpu_ns.get(domid)
+        last_at = self._last_read_at.get(domid)
+        self._last_cpu_ns[domid] = current
+        self._last_read_at[domid] = now
+        if last is None or last_at is None or now <= last_at:
+            return 0.0
+        nvcpus = len(self.hypervisor.domain(domid).vcpus)
+        return 100.0 * (current - last) / ((now - last_at) * nvcpus)
+
+    # -- control ------------------------------------------------------------------
+    def set_cap(self, domid: int, cap_percent: int) -> None:
+        """Set the domain's scheduler cap (the 'CPU cap' of the paper)."""
+        self.hypervisor.set_cap(domid, cap_percent)
+
+    def get_cap(self, domid: int) -> int:
+        return self.hypervisor.get_cap(domid)
+
+    def __repr__(self) -> str:
+        return f"<XenStat over {self.hypervisor!r}>"

@@ -1,0 +1,173 @@
+"""Tests for analysis helpers and the synthetic workload traces."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    LatencySummary,
+    downsample,
+    interference_reduction_pct,
+    render_histogram,
+    render_series,
+    render_table,
+)
+from repro.errors import ConfigError
+from repro.units import SEC
+from repro.workloads import TradingDayConfig, TradingDayTrace, poisson_think_times
+
+
+class TestLatencySummary:
+    def test_basic_stats(self):
+        s = LatencySummary.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == 3.0
+        assert s.p50 == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+
+    def test_empty(self):
+        s = LatencySummary.from_samples([])
+        assert s.n == 0
+        assert np.isnan(s.mean)
+
+    def test_as_dict_keys(self):
+        d = LatencySummary.from_samples([1.0]).as_dict()
+        assert set(d) == {
+            "n", "mean_us", "std_us", "p50_us", "p95_us", "p99_us",
+            "min_us", "max_us",
+        }
+
+
+class TestReduction:
+    def test_headline_metric(self):
+        # 300us interfered -> 210us managed = 30% reduction.
+        assert interference_reduction_pct(300.0, 210.0) == pytest.approx(30.0)
+
+    def test_no_improvement(self):
+        assert interference_reduction_pct(300.0, 300.0) == 0.0
+
+    def test_degenerate(self):
+        assert np.isnan(interference_reduction_pct(0.0, 10.0))
+
+
+class TestDownsample:
+    def test_short_series_untouched(self):
+        arr = np.arange(10)
+        np.testing.assert_array_equal(downsample(arr, 20), arr)
+
+    def test_long_series_strided(self):
+        arr = np.arange(1000)
+        out = downsample(arr, 100)
+        assert len(out) <= 100
+        assert out[0] == 0
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table(
+            ["name", "mean"], [["base", 209.13], ["intf", 325.6]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "209.1" in text
+        assert "325.6" in text
+        # All data lines the same width.
+        assert len(set(len(l) for l in lines[1:])) == 1
+
+    def test_histogram(self):
+        text = render_histogram([(200.0, 10), (205.0, 5)], title="H")
+        assert "H" in text
+        assert "#" in text
+        assert "200.0" in text
+
+    def test_histogram_empty(self):
+        assert "(no samples)" in render_histogram([])
+
+    def test_series_downsamples(self):
+        text = render_series(
+            [i / 10 for i in range(100)], list(range(100)), max_rows=10
+        )
+        assert len(text.splitlines()) <= 13
+
+    def test_series_empty(self):
+        assert "(empty series)" in render_series([], [])
+
+
+class TestTradingDayTrace:
+    def make(self, **kw):
+        cfg = TradingDayConfig(**kw)
+        return TradingDayTrace(cfg, np.random.default_rng(1))
+
+    def test_burst_at_open_and_close(self):
+        trace = self.make(day_s=10.0, open_fraction=0.1, close_fraction=0.1)
+        open_rate = trace.rate_at(int(0.5 * SEC))
+        midday_rate = trace.rate_at(int(5 * SEC))
+        close_rate = trace.rate_at(int(9.5 * SEC))
+        assert open_rate == midday_rate * 4.0
+        assert close_rate == midday_rate * 4.0
+
+    def test_arrival_counts_scale_with_rate(self):
+        trace = self.make(day_s=2.0, midday_rate_hz=500.0)
+        arrivals = trace.arrivals(2 * SEC)
+        # Expected: bursts (0.6s at 2000Hz) + midday (1.4s at 500Hz) = 1900.
+        assert 1500 < len(arrivals) < 2400
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_gap_is_nonnegative(self):
+        trace = self.make()
+        for t in range(0, 10**9, 10**8):
+            assert trace.next_gap_ns(t) >= 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TradingDayConfig(day_s=0)
+        with pytest.raises(ConfigError):
+            TradingDayConfig(open_fraction=0.6, close_fraction=0.6)
+        with pytest.raises(ConfigError):
+            TradingDayConfig(burst_factor=0.5)
+        with pytest.raises(ConfigError):
+            TradingDayConfig(midday_rate_hz=0)
+
+
+class TestPoissonThinkTimes:
+    def test_mean_matches_rate(self):
+        gaps = poisson_think_times(1000.0, 20_000, np.random.default_rng(0))
+        assert gaps.mean() == pytest.approx(1e6, rel=0.05)  # 1ms in ns
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            poisson_think_times(0.0, 10, np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            poisson_think_times(1.0, -1, np.random.default_rng(0))
+
+
+class TestTracePacedClient:
+    def test_pacer_slows_request_rate(self):
+        from repro.benchex import BenchExConfig, BenchExPair, run_pairs
+        from repro.experiments.platform import Testbed
+
+        bed = Testbed.paper_testbed(seed=8)
+        s, c = bed.node("server-host"), bed.node("client-host")
+        cfg = BenchExConfig(name="paced", request_limit=50, warmup_requests=5)
+        pair = BenchExPair(bed, s, c, cfg)
+
+        def deploy_and_pace(env):
+            yield from pair.deploy()
+            pair.client.pacer = lambda now: 1_000_000  # 1 ms think
+            pair.start()
+
+        bed.env.process(deploy_and_pace(bed.env))
+        bed.env.run(until=pair_done(bed, pair))
+        lat = pair.client.latency_array()
+        # Latency unchanged (closed loop), but the run took ~50 * (cycle
+        # + 1ms) of simulated time.
+        assert bed.env.now > 50 * 1_000_000
+
+
+def pair_done(bed, pair):
+    def waiter(env):
+        while pair.client_proc is None:
+            yield env.timeout(100_000)
+        yield pair.client_proc
+
+    return bed.env.process(waiter(bed.env))

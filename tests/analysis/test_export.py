@@ -1,0 +1,93 @@
+"""Tests for CSV/JSON export helpers."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    figure_to_json,
+    write_figure_json,
+    write_latency_records_csv,
+    write_series_csv,
+)
+from repro.benchex import LatencyRecord
+from repro.experiments import FigureResult
+
+
+@pytest.fixture
+def records():
+    return [
+        LatencyRecord(1, 0, 10_000, 20_000, 30_000),
+        LatencyRecord(2, 100_000, 11_000, 20_000, 31_000),
+    ]
+
+
+class TestLatencyCsv:
+    def test_roundtrip(self, tmp_path, records):
+        path = tmp_path / "lat.csv"
+        assert write_latency_records_csv(path, records) == 2
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert int(rows[0]["total_ns"]) == 60_000
+        assert int(rows[1]["request_id"]) == 2
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_latency_records_csv(path, []) == 0
+        assert path.read_text().startswith("request_id")
+
+
+class TestSeriesCsv:
+    def test_long_format(self, tmp_path):
+        series = {
+            "cap": (np.array([0, 1000]), np.array([100.0, 50.0])),
+            "resos": (np.array([0]), np.array([624288.0])),
+        }
+        path = tmp_path / "series.csv"
+        assert write_series_csv(path, series) == 3
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        names = {r["series"] for r in rows}
+        assert names == {"cap", "resos"}
+        cap_rows = [r for r in rows if r["series"] == "cap"]
+        assert float(cap_rows[1]["value"]) == 50.0
+
+
+class TestFigureJson:
+    def make_figure(self):
+        return FigureResult(
+            figure="Fig.X",
+            title="demo",
+            headers=["a", "b"],
+            rows=[["x", 1.5]],
+            notes="n",
+            extra={
+                "np_int": np.int64(3),
+                "np_float": np.float64(2.5),
+                "arr": np.array([1.0, 2.0]),
+                "set": {2, 1},
+            },
+        )
+
+    def test_serializes_numpy_types(self):
+        doc = json.loads(figure_to_json(self.make_figure()))
+        assert doc["extra"]["np_int"] == 3
+        assert doc["extra"]["np_float"] == 2.5
+        assert doc["extra"]["arr"] == [1.0, 2.0]
+        assert doc["extra"]["set"] == [1, 2]
+        assert doc["rows"] == [["x", 1.5]]
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "fig.json"
+        write_figure_json(path, self.make_figure())
+        doc = json.loads(path.read_text())
+        assert doc["figure"] == "Fig.X"
+
+    def test_unserializable_raises(self):
+        fig = self.make_figure()
+        fig.extra["bad"] = object()
+        with pytest.raises(TypeError):
+            figure_to_json(fig)

@@ -1,0 +1,146 @@
+"""Fan-in (N:1) BenchEx and SRQ tests."""
+
+import numpy as np
+import pytest
+
+from repro.benchex import BenchExConfig, BenchExFanIn
+from repro.errors import BenchmarkError, QPError
+from repro.experiments import Testbed
+from repro.units import KiB, SEC
+
+
+def run_fanin(n_clients, sim_s=0.4, seed=3, **cfg_kwargs):
+    bed = Testbed.paper_testbed(seed=seed)
+    s, c = bed.node("server-host"), bed.node("client-host")
+    cfg = BenchExConfig(name="fan", warmup_requests=30, **cfg_kwargs)
+    fan = BenchExFanIn(bed, s, c, cfg, n_clients=n_clients)
+
+    def deploy(env):
+        yield from fan.deploy()
+        fan.start()
+
+    bed.env.process(deploy(bed.env))
+    bed.env.run(until=int(sim_s * SEC))
+    return bed, fan
+
+
+class TestSRQ:
+    def test_qp_with_srq_rejects_direct_recv(self):
+        bed = Testbed.paper_testbed(seed=1)
+        s = bed.node("server-host")
+        dom = s.create_guest("vm")
+        state = {}
+
+        def scenario(env):
+            fe = s.frontend(dom)
+            ctx = yield from fe.open_context()
+            cq = yield from fe.create_cq(ctx)
+            srq = yield from fe.create_srq(ctx)
+            qp = yield from fe.create_qp(ctx, cq, srq=srq)
+            state["qp"] = qp
+            state["srq"] = srq
+            state["ctx"] = ctx
+            state["fe"] = fe
+
+        proc = bed.env.process(scenario(bed.env))
+        bed.env.run(until=proc)
+        from repro.ib.qp import RecvWR
+
+        # Direct recv posting must be refused when an SRQ is attached.
+        with pytest.raises(QPError, match="SRQ"):
+            state["qp"].post_recv(None)
+
+    def test_srq_capacity_enforced(self):
+        from repro.ib.srq import SharedReceiveQueue
+
+        bed = Testbed.paper_testbed(seed=1)
+        s = bed.node("server-host")
+        with pytest.raises(QPError):
+            SharedReceiveQueue(s.hca, 1, max_wr=0)
+
+    def test_foreign_srq_rejected(self):
+        bed = Testbed.paper_testbed(seed=1)
+        s, c = bed.node("server-host"), bed.node("client-host")
+        sdom, cdom = s.create_guest("s"), c.create_guest("c")
+        failures = []
+
+        def scenario(env):
+            sfe, cfe = s.frontend(sdom), c.frontend(cdom)
+            sctx = yield from sfe.open_context()
+            cctx = yield from cfe.open_context()
+            srq = yield from sfe.create_srq(sctx)
+            from repro.ib import Access
+
+            mr = yield from cfe.reg_mr(cctx, KiB, Access.full())
+            try:
+                yield from cctx.post_srq_recv(srq, mr)
+            except QPError:
+                failures.append(True)
+
+        proc = bed.env.process(scenario(bed.env))
+        bed.env.run(until=proc)
+        assert failures == [True]
+
+
+class TestFanIn:
+    def test_single_client_matches_pair_baseline(self):
+        _, fan = run_fanin(1)
+        lat = fan.client_latencies_us()
+        assert lat.mean() == pytest.approx(209.0, abs=6.0)
+
+    def test_fcfs_fairness_across_clients(self):
+        _, fan = run_fanin(4)
+        counts = list(fan.server.served_by_qp.values())
+        assert len(counts) == 4
+        # Symmetric closed-loop clients get near-equal service.
+        assert max(counts) - min(counts) <= 0.1 * max(counts) + 2
+
+    def test_latency_grows_with_queueing(self):
+        _, fan1 = run_fanin(1)
+        _, fan2 = run_fanin(2)
+        _, fan4 = run_fanin(4)
+        m1 = fan1.client_latencies_us().mean()
+        m2 = fan2.client_latencies_us().mean()
+        m4 = fan4.client_latencies_us().mean()
+        assert m1 < m2 < m4
+        # Roughly linear in the number of closed-loop clients once the
+        # server is the bottleneck.
+        assert m4 > 2.0 * m2 * 0.8
+
+    def test_server_throughput_saturates(self):
+        bed2, fan2 = run_fanin(2)
+        bed4, fan4 = run_fanin(4)
+        rate2 = fan2.server.requests_served / (bed2.env.now / SEC)
+        rate4 = fan4.server.requests_served / (bed4.env.now / SEC)
+        # More clients than the server can use: throughput plateaus.
+        assert rate4 == pytest.approx(rate2, rel=0.1)
+
+    def test_think_time_reduces_load(self):
+        """With per-client think time the server is no longer saturated
+        and latency returns near base (the <10% utilization regime the
+        paper's intro describes)."""
+        _, busy = run_fanin(4)
+        _, idle = run_fanin(4, think_time_ns=2_000_000)  # 2 ms
+        assert (
+            idle.client_latencies_us().mean()
+            < busy.client_latencies_us().mean() * 0.6
+        )
+
+    def test_requires_at_least_one_client(self):
+        bed = Testbed.paper_testbed(seed=1)
+        s, c = bed.node("server-host"), bed.node("client-host")
+        with pytest.raises(BenchmarkError):
+            BenchExFanIn(bed, s, c, BenchExConfig(name="x"), n_clients=0)
+
+    def test_start_before_deploy_rejected(self):
+        bed = Testbed.paper_testbed(seed=1)
+        s, c = bed.node("server-host"), bed.node("client-host")
+        fan = BenchExFanIn(bed, s, c, BenchExConfig(name="x"), n_clients=1)
+        with pytest.raises(BenchmarkError):
+            fan.start()
+
+    def test_component_records_kept(self):
+        _, fan = run_fanin(2)
+        assert len(fan.server.records) > 100
+        for r in fan.server.records[:20]:
+            assert r.total_ns == r.ptime_ns + r.ctime_ns + r.wtime_ns

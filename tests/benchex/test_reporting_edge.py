@@ -1,0 +1,38 @@
+"""LatencyAgent edge cases: capacity, drops, peek."""
+
+import numpy as np
+
+from repro.benchex import LatencyAgent
+
+
+class TestAgentCapacity:
+    def test_full_ring_drops_and_counts(self):
+        agent = LatencyAgent(1, capacity=3)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            agent.report(v)
+        assert agent.dropped == 2
+        assert agent.total_reported == 3
+        np.testing.assert_array_equal(agent.drain(), [1.0, 2.0, 3.0])
+
+    def test_drain_frees_capacity(self):
+        agent = LatencyAgent(1, capacity=2)
+        agent.report(1.0)
+        agent.report(2.0)
+        agent.drain()
+        agent.report(3.0)
+        assert agent.dropped == 0
+        np.testing.assert_array_equal(agent.drain(), [3.0])
+
+    def test_peek_does_not_drain(self):
+        agent = LatencyAgent(1)
+        agent.report(10.0)
+        agent.report(20.0)
+        n, mean = agent.peek_stats()
+        assert n == 2
+        assert mean == 15.0
+        assert len(agent.drain()) == 2
+
+    def test_peek_empty(self):
+        n, mean = LatencyAgent(1).peek_stats()
+        assert n == 0
+        assert np.isnan(mean)

@@ -1,0 +1,162 @@
+"""Tests for Black-Scholes pricing, Greeks, and no-arbitrage identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FinanceError
+from repro.finance import (
+    call_price,
+    delta,
+    gamma,
+    put_call_parity_gap,
+    put_price,
+    rho,
+    theta,
+    vega,
+)
+
+# Haug (1998) reference: S=60, K=65, r=8%, sigma=30%, T=0.25 -> C=2.1334
+HAUG = dict(S=60.0, K=65.0, r=0.08, sigma=0.30, T=0.25)
+
+
+class TestReferenceValues:
+    def test_haug_call(self):
+        assert call_price(**HAUG) == pytest.approx(2.1334, abs=1e-4)
+
+    def test_hull_put(self):
+        # Hull: S=42, K=40, r=10%, sigma=20%, T=0.5 -> P=0.8086
+        assert put_price(42.0, 40.0, 0.10, 0.20, 0.5) == pytest.approx(
+            0.8086, abs=1e-4
+        )
+
+    def test_atm_call_approximation(self):
+        # ATM forward approximation: C ~ 0.4 * S * sigma * sqrt(T).
+        S = 100.0
+        c = call_price(S, S, 0.0, 0.2, 1.0)
+        assert c == pytest.approx(0.4 * S * 0.2, rel=0.01)
+
+    def test_vectorised_broadcast(self):
+        strikes = np.array([80.0, 90.0, 100.0, 110.0])
+        prices = call_price(100.0, strikes, 0.05, 0.2, 1.0)
+        assert prices.shape == (4,)
+        # Monotone decreasing in strike.
+        assert np.all(np.diff(prices) < 0)
+
+    def test_dividend_yield_reduces_call(self):
+        plain = call_price(100.0, 100.0, 0.05, 0.2, 1.0)
+        divd = call_price(100.0, 100.0, 0.05, 0.2, 1.0, q=0.03)
+        assert divd < plain
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(S=-1.0, K=100.0, r=0.05, sigma=0.2, T=1.0),
+            dict(S=100.0, K=0.0, r=0.05, sigma=0.2, T=1.0),
+            dict(S=100.0, K=100.0, r=0.05, sigma=0.0, T=1.0),
+            dict(S=100.0, K=100.0, r=0.05, sigma=0.2, T=0.0),
+        ],
+    )
+    def test_bad_inputs_rejected(self, kwargs):
+        with pytest.raises(FinanceError):
+            call_price(**kwargs)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FinanceError):
+            delta(100.0, 100.0, 0.05, 0.2, 1.0, kind="straddle")
+
+
+class TestGreeks:
+    def test_delta_bounds(self):
+        d_call = delta(100.0, 100.0, 0.05, 0.2, 1.0, kind="call")
+        d_put = delta(100.0, 100.0, 0.05, 0.2, 1.0, kind="put")
+        assert 0 < d_call < 1
+        assert -1 < d_put < 0
+        assert d_call - d_put == pytest.approx(1.0)  # q=0
+
+    def test_delta_matches_finite_difference(self):
+        h = 1e-4
+        fd = (
+            call_price(100.0 + h, 100.0, 0.05, 0.2, 1.0)
+            - call_price(100.0 - h, 100.0, 0.05, 0.2, 1.0)
+        ) / (2 * h)
+        assert delta(100.0, 100.0, 0.05, 0.2, 1.0) == pytest.approx(fd, abs=1e-6)
+
+    def test_gamma_matches_finite_difference(self):
+        h = 1e-3
+        fd = (
+            call_price(100.0 + h, 100.0, 0.05, 0.2, 1.0)
+            - 2 * call_price(100.0, 100.0, 0.05, 0.2, 1.0)
+            + call_price(100.0 - h, 100.0, 0.05, 0.2, 1.0)
+        ) / h**2
+        assert gamma(100.0, 100.0, 0.05, 0.2, 1.0) == pytest.approx(fd, abs=1e-5)
+
+    def test_vega_matches_finite_difference(self):
+        h = 1e-5
+        fd = (
+            call_price(100.0, 100.0, 0.05, 0.2 + h, 1.0)
+            - call_price(100.0, 100.0, 0.05, 0.2 - h, 1.0)
+        ) / (2 * h)
+        assert vega(100.0, 100.0, 0.05, 0.2, 1.0) == pytest.approx(fd, rel=1e-5)
+
+    def test_theta_matches_finite_difference(self):
+        h = 1e-5
+        # theta = -dV/dT (calendar time convention: value decays as T shrinks)
+        fd = -(
+            call_price(100.0, 100.0, 0.05, 0.2, 1.0 + h)
+            - call_price(100.0, 100.0, 0.05, 0.2, 1.0 - h)
+        ) / (2 * h)
+        assert theta(100.0, 100.0, 0.05, 0.2, 1.0) == pytest.approx(fd, rel=1e-4)
+
+    def test_rho_matches_finite_difference(self):
+        h = 1e-6
+        fd = (
+            call_price(100.0, 100.0, 0.05 + h, 0.2, 1.0)
+            - call_price(100.0, 100.0, 0.05 - h, 0.2, 1.0)
+        ) / (2 * h)
+        assert rho(100.0, 100.0, 0.05, 0.2, 1.0) == pytest.approx(fd, rel=1e-5)
+
+    def test_put_rho_negative(self):
+        assert rho(100.0, 100.0, 0.05, 0.2, 1.0, kind="put") < 0
+
+
+class TestPropertyBased:
+    @given(
+        S=st.floats(min_value=1.0, max_value=500.0),
+        K=st.floats(min_value=1.0, max_value=500.0),
+        r=st.floats(min_value=0.0, max_value=0.15),
+        sigma=st.floats(min_value=0.01, max_value=1.5),
+        T=st.floats(min_value=0.01, max_value=5.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_put_call_parity(self, S, K, r, sigma, T):
+        gap = put_call_parity_gap(S, K, r, sigma, T)
+        assert abs(gap) < 1e-8 * max(S, K)
+
+    @given(
+        S=st.floats(min_value=1.0, max_value=500.0),
+        K=st.floats(min_value=1.0, max_value=500.0),
+        r=st.floats(min_value=0.0, max_value=0.15),
+        sigma=st.floats(min_value=0.01, max_value=1.5),
+        T=st.floats(min_value=0.01, max_value=5.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_no_arbitrage_bounds(self, S, K, r, sigma, T):
+        c = float(call_price(S, K, r, sigma, T))
+        disc_k = K * np.exp(-r * T)
+        assert c >= max(S - disc_k, 0.0) - 1e-9 * max(S, K)
+        assert c <= S + 1e-12
+
+    @given(
+        S=st.floats(min_value=10.0, max_value=200.0),
+        sigma1=st.floats(min_value=0.05, max_value=0.5),
+        bump=st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_price_increasing_in_vol(self, S, sigma1, bump):
+        c1 = float(call_price(S, S, 0.02, sigma1, 1.0))
+        c2 = float(call_price(S, S, 0.02, sigma1 + bump, 1.0))
+        assert c2 > c1

@@ -1,0 +1,294 @@
+"""Tests for the fluid fabric: fair sharing, completion timing, stats."""
+
+import math
+
+import pytest
+
+from repro.errors import FabricError
+from repro.hw import FluidFabric, PacketLink, maxmin_rates
+from repro.hw.fabric import Transfer
+from repro.sim import Environment, Event
+from repro.units import GiB, KiB, MiB, SEC, US
+
+GB_PER_S = float(GiB)  # 1 GiB/s link, the paper's effective IB rate
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_fabric(env, nlinks=1):
+    fabric = FluidFabric(env)
+    links = [fabric.add_link(f"l{i}", GB_PER_S) for i in range(nlinks)]
+    return fabric, links
+
+
+class TestSingleTransfer:
+    def test_wire_time_matches_capacity(self, env):
+        fabric, (link,) = make_fabric(env)
+        t = fabric.submit([link], 64 * KiB)
+        env.run(until=t.done)
+        # 64 KiB at 1 GiB/s = 61.035 us
+        expected = 64 * KiB * SEC / GB_PER_S
+        assert t.completed_at == pytest.approx(expected, abs=2)
+
+    def test_zero_byte_completes_immediately(self, env):
+        fabric, (link,) = make_fabric(env)
+        t = fabric.submit([link], 0)
+        assert t.done.triggered
+        assert t.completed_at == 0
+
+    def test_negative_size_rejected(self, env):
+        fabric, (link,) = make_fabric(env)
+        with pytest.raises(FabricError):
+            fabric.submit([link], -1)
+
+    def test_empty_path_rejected(self, env):
+        fabric, _ = make_fabric(env)
+        with pytest.raises(FabricError):
+            fabric.submit([], 100)
+
+    def test_foreign_link_rejected(self, env):
+        fabric, _ = make_fabric(env)
+        other = FluidFabric(env).add_link("x", GB_PER_S)
+        with pytest.raises(FabricError):
+            fabric.submit([other], 100)
+
+    def test_duplicate_link_name_rejected(self, env):
+        fabric, _ = make_fabric(env)
+        with pytest.raises(FabricError):
+            fabric.add_link("l0", GB_PER_S)
+
+    def test_bytes_accepted_accounting(self, env):
+        fabric, (link,) = make_fabric(env)
+        fabric.submit([link], 1000)
+        fabric.submit([link], 2000)
+        assert link.bytes_accepted == 3000
+
+
+class TestFairSharing:
+    def test_two_equal_transfers_share_evenly(self, env):
+        fabric, (link,) = make_fabric(env)
+        t1 = fabric.submit([link], 64 * KiB, "a")
+        t2 = fabric.submit([link], 64 * KiB, "b")
+        env.run(until=env.all_of([t1.done, t2.done]))
+        solo = 64 * KiB * SEC / GB_PER_S
+        # Both finish at ~2x solo time (they share the whole way).
+        assert t1.completed_at == pytest.approx(2 * solo, rel=0.01)
+        assert t2.completed_at == pytest.approx(2 * solo, rel=0.01)
+
+    def test_small_transfer_against_big_one(self, env):
+        """A 64 KiB message vs a 2 MiB stream: the small one takes ~2x solo.
+
+        This is the paper's core interference mechanism (Figs. 1-2).
+        """
+        fabric, (link,) = make_fabric(env)
+        big = fabric.submit([link], 2 * MiB, "interferer")
+        small = fabric.submit([link], 64 * KiB, "victim")
+        env.run(until=small.done)
+        solo = 64 * KiB * SEC / GB_PER_S
+        assert small.completed_at == pytest.approx(2 * solo, rel=0.01)
+        assert not big.done.triggered  # still draining
+
+    def test_rate_reallocated_after_completion(self, env):
+        fabric, (link,) = make_fabric(env)
+        t1 = fabric.submit([link], 64 * KiB, "short")
+        t2 = fabric.submit([link], 128 * KiB, "long")
+        env.run(until=env.all_of([t1.done, t2.done]))
+        solo64 = 64 * KiB * SEC / GB_PER_S
+        # short: shares until done at 2*solo64.
+        assert t1.completed_at == pytest.approx(2 * solo64, rel=0.01)
+        # long: 64 KiB done while sharing (at t=2*solo64), then 64 KiB alone.
+        assert t2.completed_at == pytest.approx(3 * solo64, rel=0.01)
+
+    def test_three_way_sharing(self, env):
+        fabric, (link,) = make_fabric(env)
+        transfers = [fabric.submit([link], 90 * KiB, f"t{i}") for i in range(3)]
+        env.run(until=env.all_of([t.done for t in transfers]))
+        solo = 90 * KiB * SEC / GB_PER_S
+        for t in transfers:
+            assert t.completed_at == pytest.approx(3 * solo, rel=0.01)
+
+    def test_staggered_arrival(self, env):
+        fabric, (link,) = make_fabric(env)
+        results = {}
+
+        def starter(env):
+            t1 = fabric.submit([link], 128 * KiB, "first")
+            yield env.timeout(int(64 * KiB * SEC / GB_PER_S))  # first is half done
+            t2 = fabric.submit([link], 32 * KiB, "second")
+            yield env.all_of([t1.done, t2.done])
+            results["t1"] = t1.completed_at
+            results["t2"] = t2.completed_at
+
+        env.process(starter(env))
+        env.run()
+        u = 64 * KiB * SEC / GB_PER_S  # time for 64 KiB solo
+        # After t2 arrives, both share: t2 finishes 32 KiB at rate/2 -> u
+        assert results["t2"] == pytest.approx(2 * u, rel=0.01)
+        # t1: 64 KiB left at t=u; shares for 32 KiB (u), then alone for 32 KiB (u/2)
+        assert results["t1"] == pytest.approx(2.5 * u, rel=0.01)
+
+
+class TestMultiLinkPaths:
+    def test_two_hop_path_bottleneck(self, env):
+        fabric = FluidFabric(env)
+        fast = fabric.add_link("fast", 2 * GB_PER_S)
+        slow = fabric.add_link("slow", GB_PER_S)
+        t = fabric.submit([fast, slow], 64 * KiB)
+        env.run(until=t.done)
+        expected = 64 * KiB * SEC / GB_PER_S  # bottleneck = slow link
+        assert t.completed_at == pytest.approx(expected, abs=2)
+
+    def test_cross_traffic_on_shared_ingress(self, env):
+        """Two senders into the same destination port share its rx link."""
+        fabric = FluidFabric(env)
+        tx_a = fabric.add_link("a.tx", GB_PER_S)
+        tx_b = fabric.add_link("b.tx", GB_PER_S)
+        rx_c = fabric.add_link("c.rx", GB_PER_S)
+        t1 = fabric.submit([tx_a, rx_c], 64 * KiB)
+        t2 = fabric.submit([tx_b, rx_c], 64 * KiB)
+        env.run(until=env.all_of([t1.done, t2.done]))
+        solo = 64 * KiB * SEC / GB_PER_S
+        assert t1.completed_at == pytest.approx(2 * solo, rel=0.01)
+        assert t2.completed_at == pytest.approx(2 * solo, rel=0.01)
+
+    def test_disjoint_paths_do_not_interfere(self, env):
+        fabric = FluidFabric(env)
+        l1 = fabric.add_link("p1", GB_PER_S)
+        l2 = fabric.add_link("p2", GB_PER_S)
+        t1 = fabric.submit([l1], 64 * KiB)
+        t2 = fabric.submit([l2], 64 * KiB)
+        env.run(until=env.all_of([t1.done, t2.done]))
+        solo = 64 * KiB * SEC / GB_PER_S
+        assert t1.completed_at == pytest.approx(solo, abs=2)
+        assert t2.completed_at == pytest.approx(solo, abs=2)
+
+
+class TestMaxMinAlgorithm:
+    def _mk(self, path, nbytes=1000):
+        return Transfer(0, tuple(path), nbytes, None, 0, "")
+
+    def test_single_link_even_split(self, env):
+        fabric, (link,) = make_fabric(env)
+        ts = [self._mk([link]) for _ in range(4)]
+        rates = maxmin_rates(ts, lambda l: l.capacity_bytes_per_ns)
+        for t in ts:
+            assert rates[t] == pytest.approx(link.capacity_bytes_per_ns / 4)
+
+    def test_bottleneck_flow_frees_capacity_elsewhere(self, env):
+        # Classic max-min example: flows A:[l1], B:[l1,l2], C:[l2]
+        # l1 cap 1, l2 cap 2 => B gets 0.5 (l1 bottleneck), A gets 0.5,
+        # C gets l2 leftover 1.5.
+        fabric = FluidFabric(env)
+        l1 = fabric.add_link("l1", 1e9)
+        l2 = fabric.add_link("l2", 2e9)
+        a = self._mk([l1])
+        b = self._mk([l1, l2])
+        c = self._mk([l2])
+        rates = maxmin_rates([a, b, c], lambda l: l.capacity_bytes_per_ns)
+        assert rates[a] == pytest.approx(0.5, rel=1e-9)
+        assert rates[b] == pytest.approx(0.5, rel=1e-9)
+        assert rates[c] == pytest.approx(1.5, rel=1e-9)
+
+    def test_no_link_oversubscribed(self, env):
+        fabric = FluidFabric(env)
+        links = [fabric.add_link(f"l{i}", (i + 1) * 1e9) for i in range(3)]
+        import itertools
+
+        ts = []
+        for r in range(1, 4):
+            for combo in itertools.combinations(links, r):
+                ts.append(self._mk(list(combo)))
+        rates = maxmin_rates(ts, lambda l: l.capacity_bytes_per_ns)
+        for link in links:
+            total = sum(rates[t] for t in ts if link in t.path)
+            assert total <= link.capacity_bytes_per_ns * (1 + 1e-9)
+
+    def test_empty_input(self):
+        assert maxmin_rates([], lambda l: 0) == {}
+
+
+class TestUtilizationStats:
+    def test_saturated_link_reports_full_utilization(self, env):
+        fabric, (link,) = make_fabric(env)
+        t = fabric.submit([link], MiB)
+        env.run(until=t.done)
+        assert link.utilization(env.now) == pytest.approx(1.0, rel=0.01)
+
+    def test_idle_link_zero_utilization(self, env):
+        fabric, (link,) = make_fabric(env)
+        assert link.utilization(1000) == 0.0
+
+
+class TestFluidVsPacketCrossValidation:
+    """The fluid model must agree with exact per-MTU round robin."""
+
+    def test_two_flows_same_size(self, env):
+        # Packet model
+        penv = Environment()
+        plink = PacketLink(penv, GB_PER_S, mtu_bytes=1 * KiB)
+        d1 = plink.submit(64 * KiB, "a")
+        d2 = plink.submit(64 * KiB, "b")
+        penv.run(until=penv.all_of([d1, d2]))
+        packet_finish = penv.now
+
+        fabric, (link,) = make_fabric(env)
+        t1 = fabric.submit([link], 64 * KiB, "a")
+        t2 = fabric.submit([link], 64 * KiB, "b")
+        env.run(until=env.all_of([t1.done, t2.done]))
+        fluid_finish = env.now
+
+        mtu_time = 1 * KiB * SEC / GB_PER_S
+        assert abs(packet_finish - fluid_finish) <= 2 * mtu_time
+
+    def test_small_vs_large_flow(self):
+        mtu_time = 1 * KiB * SEC / GB_PER_S
+
+        penv = Environment()
+        plink = PacketLink(penv, GB_PER_S, mtu_bytes=1 * KiB)
+        plink.submit(512 * KiB, "big")
+        small_done = plink.submit(32 * KiB, "small")
+        penv.run(until=small_done)
+        packet_small = penv.now
+
+        fenv = Environment()
+        fabric = FluidFabric(fenv)
+        link = fabric.add_link("l", GB_PER_S)
+        fabric.submit([link], 512 * KiB, "big")
+        t_small = fabric.submit([link], 32 * KiB, "small")
+        fenv.run(until=t_small.done)
+        fluid_small = fenv.now
+
+        # Round-robin alternation vs fluid: within a few MTU slots.
+        assert abs(packet_small - fluid_small) <= 4 * mtu_time
+
+    def test_packet_link_rejects_bad_input(self, env):
+        link = PacketLink(env, GB_PER_S)
+        with pytest.raises(FabricError):
+            link.submit(-5)
+
+    def test_packet_link_zero_bytes(self, env):
+        link = PacketLink(env, GB_PER_S)
+        done = link.submit(0)
+        assert done.triggered
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_completions(self):
+        def run_once():
+            env = Environment()
+            fabric = FluidFabric(env)
+            link = fabric.add_link("l", GB_PER_S)
+
+            def traffic(env):
+                for i in range(20):
+                    fabric.submit([link], (i % 5 + 1) * 16 * KiB, f"f{i}")
+                    yield env.timeout(10 * US)
+
+            env.process(traffic(env))
+            env.run()
+            return fabric.completions
+
+        assert run_once() == run_once()

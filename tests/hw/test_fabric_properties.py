@@ -1,0 +1,86 @@
+"""Property-based tests for the fluid fabric (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import FluidFabric
+from repro.sim import Environment
+from repro.units import GiB, KiB, SEC
+
+GB_PER_S = float(GiB)
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=256 * KiB), min_size=1, max_size=12
+    ),
+    gaps=st.lists(st.integers(min_value=0, max_value=100_000), min_size=0, max_size=12),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_transfer_completes_no_earlier_than_solo_time(sizes, gaps):
+    env = Environment()
+    fabric = FluidFabric(env)
+    link = fabric.add_link("l", GB_PER_S)
+    transfers = []
+
+    def submitter(env):
+        for i, size in enumerate(sizes):
+            transfers.append(fabric.submit([link], size, f"t{i}"))
+            gap = gaps[i] if i < len(gaps) else 0
+            if gap:
+                yield env.timeout(gap)
+        if False:  # pragma: no cover - make this a generator
+            yield
+
+    env.process(submitter(env))
+    env.run()
+
+    assert len(fabric.completions) == len(sizes)
+    for t in transfers:
+        assert t.done.triggered
+        solo = t.nbytes * SEC / GB_PER_S
+        elapsed = t.completed_at - t.submitted_at
+        # Sharing can only slow a transfer down (minus 2ns rounding slack).
+        assert elapsed + 2 >= solo
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1 * KiB, max_value=128 * KiB), min_size=2, max_size=8
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_aggregate_throughput_never_exceeds_capacity(sizes):
+    env = Environment()
+    fabric = FluidFabric(env)
+    link = fabric.add_link("l", GB_PER_S)
+    for i, size in enumerate(sizes):
+        fabric.submit([link], size, f"t{i}")
+    env.run()
+    total_bytes = sum(sizes)
+    min_time = total_bytes * SEC / GB_PER_S
+    # All bytes through one link cannot finish faster than capacity allows.
+    assert env.now + 2 >= min_time
+    assert link.utilization(env.now) <= 1.0 + 1e-6
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=20, deadline=None)
+def test_work_conservation_busy_until_all_done(seed, n):
+    """With all transfers submitted at t=0, the link stays saturated:
+    finish time == total bytes / capacity."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    sizes = [int(s) for s in rng.integers(1 * KiB, 64 * KiB, size=n)]
+    env = Environment()
+    fabric = FluidFabric(env)
+    link = fabric.add_link("l", GB_PER_S)
+    for i, size in enumerate(sizes):
+        fabric.submit([link], size, f"t{i}")
+    env.run()
+    expected = sum(sizes) * SEC / GB_PER_S
+    assert abs(env.now - expected) <= n + 2  # ns rounding per completion event

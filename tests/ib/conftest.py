@@ -1,0 +1,54 @@
+"""Shared rig for IB-layer tests: two hosts, one guest each, connected QPs."""
+
+import pytest
+
+from repro.experiments.platform import Testbed
+from repro.ib import Access, connect
+
+
+class Rig:
+    """Two guests on two hosts with open verbs contexts."""
+
+    def __init__(self):
+        self.bed = Testbed.paper_testbed(seed=7)
+        self.env = self.bed.env
+        self.server_node = self.bed.node("server-host")
+        self.client_node = self.bed.node("client-host")
+        self.server_dom = self.server_node.create_guest("server-vm")
+        self.client_dom = self.client_node.create_guest("client-vm")
+        self.server_fe = self.server_node.frontend(self.server_dom)
+        self.client_fe = self.client_node.frontend(self.client_dom)
+        self.server_ctx = None
+        self.client_ctx = None
+
+    def setup_contexts(self):
+        """Process generator: open both contexts."""
+        self.server_ctx = yield from self.server_fe.open_context()
+        self.client_ctx = yield from self.client_fe.open_context()
+
+    def setup_connected_qps(self, depth=1024):
+        """Open contexts, create CQs and a connected QP pair."""
+        yield from self.setup_contexts()
+        self.server_cq = yield from self.server_fe.create_cq(self.server_ctx, depth)
+        self.client_cq = yield from self.client_fe.create_cq(self.client_ctx, depth)
+        self.server_qp = yield from self.server_fe.create_qp(
+            self.server_ctx, self.server_cq
+        )
+        self.client_qp = yield from self.client_fe.create_qp(
+            self.client_ctx, self.client_cq
+        )
+        yield from connect(
+            self.server_ctx, self.server_qp, self.client_ctx, self.client_qp
+        )
+
+    def reg(self, side, nbytes, access=None):
+        """Process generator: register an MR on 'server' or 'client'."""
+        access = access if access is not None else Access.full()
+        if side == "server":
+            return (yield from self.server_fe.reg_mr(self.server_ctx, nbytes, access))
+        return (yield from self.client_fe.reg_mr(self.client_ctx, nbytes, access))
+
+
+@pytest.fixture
+def rig():
+    return Rig()

@@ -1,0 +1,141 @@
+"""Tests for completion queues: ring semantics, events, introspectability."""
+
+import pytest
+
+from repro.errors import CQOverflowError
+from repro.hw import AddressSpace, MachineMemory
+from repro.hw.memory import Buffer
+from repro.ib.cq import CQE, CompletionQueue, WCOpcode, WCStatus
+from repro.sim import Environment
+from repro.units import MiB
+
+
+def make_cq(env, depth=8):
+    aspace = AddressSpace(1, MachineMemory(MiB))
+    page = Buffer(aspace, 4096, label="cq")
+    return CompletionQueue(env, 1, depth, page), aspace
+
+
+def cqe(n, blen=1024):
+    return CQE(
+        wr_id=n,
+        qp_num=16,
+        opcode=WCOpcode.SEND,
+        status=WCStatus.SUCCESS,
+        byte_len=blen,
+        imm_data=None,
+        timestamp_ns=0,
+    )
+
+
+class TestRing:
+    def test_push_poll_fifo(self):
+        env = Environment()
+        cq, _ = make_cq(env)
+        for i in range(3):
+            cq.hw_push(cqe(i))
+        out = cq.poll()
+        assert [c.wr_id for c in out] == [0, 1, 2]
+        assert cq.pending == 0
+
+    def test_poll_respects_max_entries(self):
+        env = Environment()
+        cq, _ = make_cq(env)
+        for i in range(5):
+            cq.hw_push(cqe(i))
+        assert len(cq.poll(max_entries=2)) == 2
+        assert cq.pending == 3
+
+    def test_ring_wraps(self):
+        env = Environment()
+        cq, _ = make_cq(env, depth=4)
+        for i in range(10):
+            cq.hw_push(cqe(i))
+            assert cq.poll()[0].wr_id == i
+        assert cq.producer_index == 10
+        assert cq.consumer_index == 10
+
+    def test_overflow_raises(self):
+        env = Environment()
+        cq, _ = make_cq(env, depth=2)
+        cq.hw_push(cqe(0))
+        cq.hw_push(cqe(1))
+        with pytest.raises(CQOverflowError):
+            cq.hw_push(cqe(2))
+
+    def test_depth_validation(self):
+        env = Environment()
+        with pytest.raises(CQOverflowError):
+            make_cq(env, depth=0)
+
+    def test_counters(self):
+        env = Environment()
+        cq, _ = make_cq(env)
+        cq.hw_push(cqe(0, blen=100))
+        cq.hw_push(cqe(1, blen=200))
+        assert cq.total_completions == 2
+        assert cq.total_bytes_completed == 300
+
+
+class TestArrivalEvent:
+    def test_pretriggered_when_pending(self):
+        env = Environment()
+        cq, _ = make_cq(env)
+        cq.hw_push(cqe(0))
+        assert cq.arrival_event().triggered
+
+    def test_fires_on_push(self):
+        env = Environment()
+        cq, _ = make_cq(env)
+        woke = []
+
+        def waiter(env):
+            yield cq.arrival_event()
+            woke.append(env.now)
+
+        def pusher(env):
+            yield env.timeout(100)
+            cq.hw_push(cqe(0))
+
+        env.process(waiter(env))
+        env.process(pusher(env))
+        env.run()
+        assert woke == [100]
+
+    def test_multiple_waiters_all_wake(self):
+        env = Environment()
+        cq, _ = make_cq(env)
+        woke = []
+
+        def waiter(env, tag):
+            yield cq.arrival_event()
+            woke.append(tag)
+
+        env.process(waiter(env, "a"))
+        env.process(waiter(env, "b"))
+
+        def pusher(env):
+            yield env.timeout(10)
+            cq.hw_push(cqe(0))
+
+        env.process(pusher(env))
+        env.run()
+        assert sorted(woke) == ["a", "b"]
+
+
+class TestIntrospectability:
+    def test_page_content_is_the_ring(self):
+        env = Environment()
+        cq, aspace = make_cq(env)
+        frame = aspace.translate(cq.page.gpfn_start)
+        assert frame.content is cq
+
+    def test_observer_sees_producer_advance(self):
+        """The IBMon observation channel: producer index via the frame."""
+        env = Environment()
+        cq, aspace = make_cq(env)
+        frame = aspace.translate(cq.page.gpfn_start)
+        observed = frame.content
+        assert observed.producer_index == 0
+        cq.hw_push(cqe(0))
+        assert observed.producer_index == 1

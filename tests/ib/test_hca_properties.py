@@ -1,0 +1,120 @@
+"""Property-based tests on IB substrate invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.platform import Testbed
+from repro.ib import Access, WCStatus, connect
+from repro.units import KiB
+
+
+def build_rig(seed=1):
+    bed = Testbed.paper_testbed(seed=seed)
+    s, c = bed.node("server-host"), bed.node("client-host")
+    sdom = s.create_guest("s")
+    cdom = c.create_guest("c")
+    return bed, s, c, sdom, cdom
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=256).map(lambda k: k * KiB),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_bytes_conserved_end_to_end(sizes):
+    """Every byte posted is accounted exactly once: HCA per-domain
+    counters, link byte counters, and receiver CQE byte_lens agree."""
+    bed, s, c, sdom, cdom = build_rig()
+    received = []
+
+    def scenario(env):
+        sfe, cfe = s.frontend(sdom), c.frontend(cdom)
+        sctx = yield from sfe.open_context()
+        cctx = yield from cfe.open_context()
+        scq = yield from sfe.create_cq(sctx)
+        ccq = yield from cfe.create_cq(cctx)
+        sqp = yield from sfe.create_qp(sctx, scq)
+        cqp = yield from cfe.create_qp(cctx, ccq)
+        yield from connect(sctx, sqp, cctx, cqp)
+        biggest = max(sizes)
+        smr = yield from cfe.reg_mr(cctx, biggest, Access.full())
+        rmr = yield from sfe.reg_mr(sctx, biggest, Access.full())
+        for _ in sizes:
+            yield from sctx.post_recv(sqp, rmr)
+        for size in sizes:
+            yield from cctx.post_send(cqp, smr, length=size)
+        while len(received) < len(sizes):
+            cqes, _ = yield from sctx.poll_cq_blocking(scq)
+            received.extend(cqes)
+
+    proc = bed.env.process(scenario(bed.env))
+    bed.env.run(until=proc)
+
+    total = sum(sizes)
+    assert sum(c.byte_len for c in received) == total
+    assert all(c.status is WCStatus.SUCCESS for c in received)
+    # HCA accounting (sender side).
+    assert c.hca.bytes_sent_by_domain[cdom.domid] == total
+    # Link accounting: client tx and server rx both carried every byte.
+    assert c.host.tx_link.bytes_accepted == total
+    assert s.host.rx_link.bytes_accepted == total
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=64).map(lambda k: k * KiB),
+        min_size=2,
+        max_size=10,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_rc_ordering_always_fifo(sizes):
+    """RC delivery order equals post order regardless of message sizes."""
+    bed, s, c, sdom, cdom = build_rig()
+    got = []
+
+    def scenario(env):
+        sfe, cfe = s.frontend(sdom), c.frontend(cdom)
+        sctx = yield from sfe.open_context()
+        cctx = yield from cfe.open_context()
+        scq = yield from sfe.create_cq(sctx)
+        ccq = yield from cfe.create_cq(cctx)
+        sqp = yield from sfe.create_qp(sctx, scq)
+        cqp = yield from cfe.create_qp(cctx, ccq)
+        yield from connect(sctx, sqp, cctx, cqp)
+        biggest = max(sizes)
+        smr = yield from cfe.reg_mr(cctx, biggest, Access.full())
+        rmr = yield from sfe.reg_mr(sctx, biggest, Access.full())
+        for i in range(len(sizes)):
+            yield from sctx.post_recv(sqp, rmr, wr_id=1000 + i)
+        for i, size in enumerate(sizes):
+            yield from cctx.post_send(cqp, smr, length=size, imm_data=i)
+        while len(got) < len(sizes):
+            cqes, _ = yield from sctx.poll_cq_blocking(scq)
+            got.extend(cqes)
+
+    proc = bed.env.process(scenario(bed.env))
+    bed.env.run(until=proc)
+    assert [c.imm_data for c in got] == list(range(len(sizes)))
+    assert [c.wr_id for c in got] == [1000 + i for i in range(len(sizes))]
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=10, deadline=None)
+def test_full_stack_determinism(seed):
+    """Identical seeds give byte-identical latency traces end to end."""
+    from repro.benchex import BenchExConfig, BenchExPair, run_pairs
+
+    def run_once():
+        bed = Testbed.paper_testbed(seed=seed)
+        s, c = bed.node("server-host"), bed.node("client-host")
+        pair = BenchExPair(
+            bed, s, c, BenchExConfig(name="d", request_limit=40)
+        )
+        run_pairs(bed, [pair])
+        return list(pair.server.latencies_us())
+
+    assert run_once() == run_once()

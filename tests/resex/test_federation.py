@@ -1,0 +1,104 @@
+"""Tests for cross-host federated ResEx (Follower + ResExFederation)."""
+
+import pytest
+
+from repro.benchex import BenchExConfig, BenchExPair, INTERFERER_2MB, run_pairs
+from repro.errors import PricingError
+from repro.experiments import Testbed
+from repro.resex import (
+    Follower,
+    IOShares,
+    LatencySLA,
+    ResExController,
+    ResExFederation,
+)
+from repro.units import SEC
+
+SLA = LatencySLA(base_mean_us=209.0, base_std_us=3.0, threshold_pct=10.0)
+
+
+def build(federated, seed=5):
+    bed = Testbed.paper_testbed(seed=seed)
+    s, c = bed.node("server-host"), bed.node("client-host")
+    rep = BenchExPair(
+        bed, s, c, BenchExConfig(name="rep", warmup_requests=50), with_agent=True
+    )
+    intf = BenchExPair(bed, s, c, INTERFERER_2MB)
+    ctl = ResExController(s, IOShares())
+    ctl.monitor(rep.server_dom, agent=rep.agent, sla=SLA)
+    ctl.monitor(intf.server_dom)
+    ctl.start()
+    fctl = None
+    fed = None
+    if federated:
+        fctl = ResExController(c, Follower())
+        fctl.monitor(intf.client_dom)
+        fctl.monitor(rep.client_dom)
+        fctl.start()
+        fed = ResExFederation(bed.env)
+        fed.link((ctl, intf.server_dom.domid), (fctl, intf.client_dom.domid))
+        fed.start()
+    return bed, rep, intf, ctl, fctl, fed
+
+
+class TestFederation:
+    def test_rate_propagates_to_client_side(self):
+        bed, rep, intf, ctl, fctl, fed = build(True)
+        run_pairs(bed, [rep, intf], until_ns=1 * SEC)
+        primary_rates = ctl.probes.series[
+            f"resex.dom{intf.server_dom.domid}.rate"
+        ].values
+        follower_rates = fctl.probes.series[
+            f"resex.dom{intf.client_dom.domid}.rate"
+        ].values
+        assert primary_rates.max() > 1.0  # congestion was priced
+        # The elevated price reached the client-side controller too.
+        assert follower_rates.max() > 1.0
+        assert follower_rates.max() == pytest.approx(
+            primary_rates.max(), rel=0.25
+        )
+        assert fed.syncs > 500
+
+    def test_interferer_client_gets_capped(self):
+        bed, rep, intf, ctl, fctl, _ = build(True)
+        run_pairs(bed, [rep, intf], until_ns=1 * SEC)
+        caps = fctl.probes.series[
+            f"resex.dom{intf.client_dom.domid}.cap"
+        ].values
+        assert caps.min() < 100
+
+    def test_victim_client_untouched(self):
+        bed, rep, intf, ctl, fctl, _ = build(True)
+        run_pairs(bed, [rep, intf], until_ns=1 * SEC)
+        caps = fctl.probes.series[
+            f"resex.dom{rep.client_dom.domid}.cap"
+        ].values
+        assert caps.min() == 100
+
+    def test_federation_improves_on_single_sided(self):
+        bed1, rep1, intf1, *_ = build(False)
+        run_pairs(bed1, [rep1, intf1], until_ns=int(1.5 * SEC))
+        bed2, rep2, intf2, *_ = build(True)
+        run_pairs(bed2, [rep2, intf2], until_ns=int(1.5 * SEC))
+        single = rep1.server.latencies_us().mean()
+        fed = rep2.server.latencies_us().mean()
+        assert fed < single + 1.0  # at least as good; usually better
+
+    def test_link_validation(self):
+        bed = Testbed.paper_testbed(seed=1)
+        s, c = bed.node("server-host"), bed.node("client-host")
+        dom_s = s.create_guest("a")
+        dom_c = c.create_guest("b")
+        ctl_s = ResExController(s, IOShares())
+        ctl_c = ResExController(c, Follower())
+        ctl_s.monitor(dom_s)
+        ctl_c.monitor(dom_c)
+        fed = ResExFederation(bed.env)
+        with pytest.raises(PricingError, match="distinct"):
+            fed.link((ctl_s, dom_s.domid), (ctl_s, dom_s.domid))
+        with pytest.raises(PricingError):
+            fed.link((ctl_s, 999), (ctl_c, dom_c.domid))
+        with pytest.raises(PricingError, match="no federation links"):
+            ResExFederation(bed.env).start()
+        with pytest.raises(PricingError):
+            ResExFederation(bed.env, sync_interval_ns=0)

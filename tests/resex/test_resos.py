@@ -1,0 +1,157 @@
+"""Unit tests for Reso accounts, supply provisioning, and parameters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PricingError
+from repro.ib.params import DEFAULT_FABRIC_PARAMS
+from repro.resex import ResoAccount, ResoParams, provision_accounts
+from repro.units import MS, SEC
+
+
+class TestResoParams:
+    def test_paper_numbers(self):
+        """§VI-A: 100,000 CPU Resos and 1,048,576 I/O Resos per epoch."""
+        p = ResoParams()
+        assert p.intervals_per_epoch == 1000
+        assert p.cpu_resos_per_epoch(1) == 100_000
+        assert p.io_resos_per_epoch(DEFAULT_FABRIC_PARAMS) == pytest.approx(
+            1_048_576
+        )
+
+    def test_validation(self):
+        with pytest.raises(PricingError):
+            ResoParams(interval_ns=0)
+        with pytest.raises(PricingError):
+            ResoParams(epoch_ns=1 * MS, interval_ns=2 * MS)
+        with pytest.raises(PricingError):
+            ResoParams(epoch_ns=1500, interval_ns=1000)  # not divisible
+
+    def test_custom_geometry(self):
+        p = ResoParams(epoch_ns=2 * SEC, interval_ns=2 * MS)
+        assert p.intervals_per_epoch == 1000
+        assert p.io_resos_per_epoch(DEFAULT_FABRIC_PARAMS) == pytest.approx(
+            2 * 1_048_576
+        )
+
+
+class TestResoAccount:
+    def test_deduct_and_balance(self):
+        acc = ResoAccount(1, 1000.0)
+        acc.deduct(300.0)
+        assert acc.balance == 700.0
+        assert acc.fraction_remaining == pytest.approx(0.7)
+        assert not acc.exhausted
+
+    def test_balance_floors_at_zero(self):
+        acc = ResoAccount(1, 100.0)
+        acc.deduct(150.0)
+        assert acc.balance == 0.0
+        assert acc.exhausted
+        assert acc.unmet_demand == 50.0
+
+    def test_replenish_discards_leftover(self):
+        acc = ResoAccount(1, 1000.0)
+        acc.deduct(100.0)
+        acc.replenish()
+        assert acc.balance == 1000.0  # not 1900: leftovers discarded
+        assert acc.epochs_replenished == 1
+
+    def test_negative_deduction_rejected(self):
+        with pytest.raises(PricingError):
+            ResoAccount(1, 10.0).deduct(-1.0)
+
+    def test_zero_allocation_rejected(self):
+        with pytest.raises(PricingError):
+            ResoAccount(1, 0.0)
+
+    def test_total_deducted_tracks_paid_only(self):
+        acc = ResoAccount(1, 100.0)
+        acc.deduct(80.0)
+        acc.deduct(80.0)  # only 20 payable
+        assert acc.total_deducted == 100.0
+
+    def test_set_allocation(self):
+        acc = ResoAccount(1, 100.0)
+        acc.set_allocation(200.0)
+        acc.replenish()
+        assert acc.balance == 200.0
+        with pytest.raises(PricingError):
+            acc.set_allocation(0)
+
+
+class TestProvisioning:
+    def test_equal_split(self):
+        p = ResoParams()
+        accounts = provision_accounts([1, 2], p, DEFAULT_FABRIC_PARAMS)
+        # Each: 100k CPU + half of 1,048,576 I/O.
+        expected = 100_000 + 1_048_576 / 2
+        assert accounts[1].allocation == pytest.approx(expected)
+        assert accounts[2].allocation == pytest.approx(expected)
+
+    def test_weighted_split(self):
+        p = ResoParams()
+        accounts = provision_accounts(
+            [1, 2], p, DEFAULT_FABRIC_PARAMS, weights={1: 3.0, 2: 1.0}
+        )
+        io = 1_048_576
+        assert accounts[1].allocation == pytest.approx(100_000 + io * 0.75)
+        assert accounts[2].allocation == pytest.approx(100_000 + io * 0.25)
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(PricingError, match="missing"):
+            provision_accounts(
+                [1, 2], ResoParams(), DEFAULT_FABRIC_PARAMS, weights={1: 1.0}
+            )
+
+    def test_empty_domains_rejected(self):
+        with pytest.raises(PricingError):
+            provision_accounts([], ResoParams(), DEFAULT_FABRIC_PARAMS)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(PricingError):
+            provision_accounts(
+                [1], ResoParams(), DEFAULT_FABRIC_PARAMS, weights={1: 0.0}
+            )
+
+
+class TestAccountProperties:
+    @given(
+        allocation=st.floats(min_value=1.0, max_value=1e9),
+        charges=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=0, max_size=100
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_balance_invariants(self, allocation, charges):
+        acc = ResoAccount(1, allocation)
+        for charge in charges:
+            acc.deduct(charge)
+            assert 0.0 <= acc.balance <= acc.allocation
+        # Conservation: paid + unmet == demanded.
+        assert acc.total_deducted + acc.unmet_demand == pytest.approx(
+            sum(charges), rel=1e-9, abs=1e-6
+        )
+        assert acc.total_deducted <= allocation + 1e-6
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_provision_conserves_io_pool(self, weights):
+        p = ResoParams()
+        domids = list(range(1, len(weights) + 1))
+        wmap = dict(zip(domids, weights))
+        accounts = provision_accounts(
+            domids, p, DEFAULT_FABRIC_PARAMS, weights=wmap
+        )
+        io_total = sum(
+            acc.allocation - p.cpu_resos_per_epoch(1)
+            for acc in accounts.values()
+        )
+        assert io_total == pytest.approx(
+            p.io_resos_per_epoch(DEFAULT_FABRIC_PARAMS), rel=1e-9
+        )

@@ -1,0 +1,117 @@
+"""CLI tests (argument parsing and end-to-end command runs)."""
+
+import pytest
+
+from repro.cli import _parse_size, main
+from repro.units import KiB, MiB
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64KB", 64 * KiB),
+            ("64kb", 64 * KiB),
+            ("2MB", 2 * MiB),
+            ("1MiB", MiB),
+            ("1024", 1024),
+            (" 128KB ", 128 * KiB),
+        ],
+    )
+    def test_sizes(self, text, expected):
+        assert _parse_size(text) == expected
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            _parse_size("lots")
+
+
+class TestFiguresCommand:
+    def test_list(self, capsys):
+        assert main(["figures", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig9", "headline"):
+            assert name in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_no_selection(self, capsys):
+        assert main(["figures"]) == 2
+
+    def test_run_one_figure_and_save(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "fast")
+        assert main(["figures", "fig1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.1" in out
+        assert (tmp_path / "fig1.txt").exists()
+
+
+class TestScenarioCommand:
+    def test_base_case(self, capsys):
+        assert main(["scenario", "--sim-s", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "Total mean" in out
+        assert "policy=none" in out
+
+    def test_with_interferer_and_policy(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "--interferer",
+                    "2MB",
+                    "--policy",
+                    "ioshares",
+                    "--sim-s",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "interferer=2MB" in out
+
+    def test_with_manual_cap(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "--interferer",
+                    "512KB",
+                    "--cap",
+                    "12",
+                    "--sim-s",
+                    "0.3",
+                ]
+            )
+            == 0
+        )
+        assert "cap=12" in capsys.readouterr().out
+
+
+class TestPoliciesCommand:
+    def test_lists_builtins(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("freemarket", "ioshares", "noop", "static-ratio"):
+            assert name in out
+
+
+class TestReportCommand:
+    def test_report_figures_only_smoke(self, tmp_path, monkeypatch, capsys):
+        """End-to-end report generation over a reduced figure set."""
+        import repro.experiments.report as report_mod
+        from repro.experiments import ALL_FIGURES
+
+        reduced = {"headline": ALL_FIGURES["headline"]}
+        monkeypatch.setattr(report_mod, "ALL_FIGURES", reduced)
+        out = tmp_path / "REPORT.md"
+        assert main(
+            ["report", "-o", str(out), "--no-ablations", "--seed", "3"]
+        ) == 0
+        text = out.read_text()
+        assert "# ResEx reproduction report" in text
+        assert "Headline" in text
+        assert "reduction" in text.lower()

@@ -1,0 +1,67 @@
+"""Registry and rendering sanity for the experiment harness (no sims)."""
+
+import pytest
+
+from repro.experiments import ALL_FIGURES, FigureResult, scale_factor
+from repro.experiments.ablations import ALL_ABLATIONS
+
+
+class TestRegistries:
+    def test_every_paper_figure_has_an_experiment(self):
+        expected = {f"fig{i}" for i in range(1, 10)} | {"headline"}
+        assert set(ALL_FIGURES) == expected
+
+    def test_ablations_cover_design_doc(self):
+        expected = {
+            "depletion", "weights", "completion", "sampling", "reaction",
+            "linkmodel", "fanin", "actuators", "federation",
+        }
+        assert set(ALL_ABLATIONS) == expected
+
+    def test_all_experiments_documented(self):
+        for registry in (ALL_FIGURES, ALL_ABLATIONS):
+            for name, fn in registry.items():
+                assert fn.__doc__, f"{name} lacks a docstring"
+
+    def test_all_experiments_accept_seed(self):
+        import inspect
+
+        for registry in (ALL_FIGURES, ALL_ABLATIONS):
+            for name, fn in registry.items():
+                assert "seed" in inspect.signature(fn).parameters, name
+
+
+class TestScaleFactor:
+    def test_default_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 1.0
+
+    def test_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert scale_factor() == 4.0
+
+    def test_unknown_value_falls_back_to_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "warp9")
+        assert scale_factor() == 1.0
+
+
+class TestFigureResult:
+    def make(self):
+        return FigureResult(
+            figure="Fig.T",
+            title="test figure",
+            headers=["a", "b"],
+            rows=[["r1", 1.0], ["r2", 2.0]],
+            notes="a note",
+        )
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "Fig.T: test figure" in text
+        assert "r1" in text and "r2" in text
+        assert "a note" in text
+
+    def test_render_without_notes(self):
+        fig = self.make()
+        fig.notes = ""
+        assert fig.render().count("\n") >= 3

@@ -1,0 +1,37 @@
+"""Import-order independence: every subpackage imports standalone.
+
+Circular imports only bite when a subpackage is imported *first*; the
+test suite normally imports things in a fixed order, so each candidate
+is probed in a fresh interpreter.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.hw",
+    "repro.ib",
+    "repro.xen",
+    "repro.ibmon",
+    "repro.resex",
+    "repro.benchex",
+    "repro.finance",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("modname", SUBPACKAGES)
+def test_subpackage_imports_first(modname):
+    proc = subprocess.run(
+        [sys.executable, "-c", f"import {modname}"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"{modname}: {proc.stderr[-500:]}"

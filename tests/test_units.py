@@ -1,0 +1,103 @@
+"""Tests for unit conversions and formatting helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_constants(self):
+        assert units.US == 1_000
+        assert units.MS == 1_000_000
+        assert units.SEC == 1_000_000_000
+
+    def test_ns_to_x(self):
+        assert units.ns_to_us(1_500) == 1.5
+        assert units.ns_to_ms(2_500_000) == 2.5
+        assert units.ns_to_s(3 * units.SEC) == 3.0
+
+    def test_x_to_ns(self):
+        assert units.us(2.5) == 2_500
+        assert units.ms(1.5) == 1_500_000
+        assert units.seconds(0.25) == 250_000_000
+
+    def test_rounding(self):
+        assert units.us(0.0004) == 0  # rounds
+        assert units.us(0.0006) == 1
+
+
+class TestDataUnits:
+    def test_constants(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024**2
+        assert units.GiB == 1024**3
+
+
+class TestWireTime:
+    def test_exact_division(self):
+        # 1024 bytes at 1024 bytes/sec = exactly 1 second.
+        assert units.wire_time_ns(1024, 1024.0) == units.SEC
+
+    def test_rounds_up(self):
+        # Never zero for a non-empty payload.
+        assert units.wire_time_ns(1, 1e12) >= 1
+
+    def test_zero_bytes(self):
+        assert units.wire_time_ns(0, 1e9) == 0
+
+    def test_paper_link(self):
+        # 1 KiB MTU at 1 GiB/s: ~954 ns.
+        t = units.wire_time_ns(1024, units.gbps_to_bytes_per_sec(8.0))
+        assert t == pytest.approx(1024 / 1e9 * 1e9, rel=0.05)
+
+
+class TestGbps:
+    def test_conversion(self):
+        assert units.gbps_to_bytes_per_sec(8.0) == 1e9
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "t,expected",
+        [
+            (500, "500ns"),
+            (1_500, "1.500us"),
+            (2_500_000, "2.500ms"),
+            (3_000_000_000, "3.000s"),
+        ],
+    )
+    def test_duration(self, t, expected):
+        assert units.format_duration(t) == expected
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (512, "512B"),
+            (64 * 1024, "64KB"),
+            (2 * 1024 * 1024, "2MB"),
+            (3 * 1024**3, "3GB"),
+            (1536, "1536B"),  # non-multiple stays in bytes
+        ],
+    )
+    def test_bytes(self, n, expected):
+        assert units.format_bytes(n) == expected
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in dir(errors):
+            cls = getattr(errors, name)
+            if (
+                isinstance(cls, type)
+                and issubclass(cls, Exception)
+                and cls not in (errors.ReproError, errors.StopSimulation)
+                and cls.__module__ == "repro.errors"
+            ):
+                assert issubclass(cls, errors.ReproError), name
+
+    def test_stop_simulation_carries_value(self):
+        from repro.errors import StopSimulation
+
+        assert StopSimulation(42).value == 42

@@ -1,0 +1,114 @@
+"""Domain destruction: resource teardown and failure propagation."""
+
+import pytest
+
+from repro.errors import HypervisorError
+from repro.experiments import Testbed
+from repro.ib import Access, QPState, WCStatus, connect
+from repro.units import KiB, MS
+
+
+@pytest.fixture
+def rig():
+    bed = Testbed.paper_testbed(seed=3)
+    return bed, bed.node("server-host"), bed.node("client-host")
+
+
+class TestDestroyDomain:
+    def test_cannot_destroy_dom0(self, rig):
+        _, s, _ = rig
+        with pytest.raises(HypervisorError, match="dom0"):
+            s.hypervisor.destroy_domain(0)
+
+    def test_domain_removed(self, rig):
+        _, s, _ = rig
+        dom = s.create_guest("victim")
+        s.hypervisor.destroy_domain(dom.domid)
+        assert not dom.alive
+        with pytest.raises(HypervisorError):
+            s.hypervisor.domain(dom.domid)
+
+    def test_vcpus_detached_from_scheduler(self, rig):
+        _, s, _ = rig
+        dom = s.create_guest("victim")
+        sched = dom.vcpu.scheduler
+        s.hypervisor.destroy_domain(dom.domid)
+        assert dom.vcpu not in sched.vcpus
+
+    def test_pending_work_fails_waiters(self, rig):
+        bed, s, _ = rig
+        dom = s.create_guest("victim")
+        caught = []
+
+        def app(env):
+            try:
+                yield dom.vcpu.compute(50 * MS)
+            except HypervisorError:
+                caught.append(True)
+
+        def killer(env):
+            yield env.timeout(1 * MS)
+            s.hypervisor.destroy_domain(dom.domid)
+
+        bed.env.process(app(bed.env))
+        bed.env.process(killer(bed.env))
+        bed.env.run(until=10 * MS)
+        assert caught == [True]
+
+    def test_mrs_unpinned_and_qps_errored(self, rig):
+        bed, s, c = rig
+        sdom = s.create_guest("s")
+        cdom = c.create_guest("c")
+        state = {}
+
+        def scenario(env):
+            sfe, cfe = s.frontend(sdom), c.frontend(cdom)
+            sctx = yield from sfe.open_context()
+            cctx = yield from cfe.open_context()
+            scq = yield from sfe.create_cq(sctx)
+            ccq = yield from cfe.create_cq(cctx)
+            sqp = yield from sfe.create_qp(sctx, scq)
+            cqp = yield from cfe.create_qp(cctx, ccq)
+            yield from connect(sctx, sqp, cctx, cqp)
+            mr = yield from sfe.reg_mr(sctx, 64 * KiB, Access.full())
+            state["mr"] = mr
+            state["sqp"] = sqp
+            state["cqp"] = cqp
+            state["cctx"] = cctx
+            state["ccq"] = ccq
+            state["cfe"] = cfe
+
+        proc = bed.env.process(scenario(bed.env))
+        bed.env.run(until=proc)
+        s.hypervisor.destroy_domain(sdom.domid)
+
+        assert state["sqp"].state is QPState.ERROR
+        mr = state["mr"]
+        assert not mr.valid
+        assert not any(f.pinned for f in mr.buffer.frames())
+
+    def test_send_to_destroyed_peer_errors(self, rig):
+        bed, s, c = rig
+        sdom = s.create_guest("s")
+        cdom = c.create_guest("c")
+        result = {}
+
+        def scenario(env):
+            sfe, cfe = s.frontend(sdom), c.frontend(cdom)
+            sctx = yield from sfe.open_context()
+            cctx = yield from cfe.open_context()
+            scq = yield from sfe.create_cq(sctx)
+            ccq = yield from cfe.create_cq(cctx)
+            sqp = yield from sfe.create_qp(sctx, scq)
+            cqp = yield from cfe.create_qp(cctx, ccq)
+            yield from connect(sctx, sqp, cctx, cqp)
+            smr = yield from cfe.reg_mr(cctx, 4 * KiB, Access.full())
+            # Destroy the server mid-flight, then send to it.
+            s.hypervisor.destroy_domain(sdom.domid)
+            yield from cctx.post_send(cqp, smr)
+            cqes, _ = yield from cctx.poll_cq_blocking(ccq)
+            result["status"] = cqes[0].status
+
+        proc = bed.env.process(scenario(bed.env))
+        bed.env.run(until=proc)
+        assert result["status"] is not WCStatus.SUCCESS

@@ -1,0 +1,94 @@
+"""Split-driver placement and control-path cost tests."""
+
+import pytest
+
+from repro.errors import HypervisorError
+from repro.experiments.platform import Testbed
+from repro.ib import Access
+from repro.units import KiB, US
+from repro.xen import IBBackend, IBFrontend
+
+
+@pytest.fixture
+def bed():
+    return Testbed.paper_testbed(seed=6)
+
+
+class TestPlacement:
+    def test_backend_requires_dom0(self, bed):
+        node = bed.node("server-host")
+        guest = node.create_guest("guest")
+        with pytest.raises(HypervisorError, match="dom0"):
+            IBBackend(node.hca, guest)
+
+    def test_frontend_rejects_dom0(self, bed):
+        node = bed.node("server-host")
+        with pytest.raises(HypervisorError, match="guest"):
+            IBFrontend(node.hypervisor.dom0, node.backend)
+
+    def test_frontend_registers_with_backend(self, bed):
+        node = bed.node("server-host")
+        guest = node.create_guest("guest")
+        fe = node.frontend(guest)
+        assert node.backend.frontends[guest.domid] is fe
+
+
+class TestControlPathCosts:
+    def test_control_ops_charge_both_sides(self, bed):
+        """Each control op costs the guest a hypercall and dom0 backend
+        work — the slow path VMM-bypass avoids on the data path."""
+        node = bed.node("server-host")
+        guest = node.create_guest("guest")
+        fe = node.frontend(guest)
+        done = {}
+
+        def scenario(env):
+            ctx = yield from fe.open_context()
+            yield from fe.create_cq(ctx)
+            yield from fe.reg_mr(ctx, 64 * KiB, Access.full())
+            done["guest_cpu"] = guest.vcpu.cumulative_ns
+            done["dom0_cpu"] = node.hypervisor.dom0.vcpu.cumulative_ns
+            done["ops"] = node.backend.ops_served
+
+        proc = bed.env.process(scenario(bed.env))
+        bed.env.run(until=proc)
+        assert done["ops"] == 3
+        assert done["guest_cpu"] >= 3 * 10 * US  # three hypercalls
+        assert done["dom0_cpu"] >= 3 * 20 * US  # three backend ops
+
+    def test_fast_path_never_touches_backend(self, bed):
+        """Posts and polls leave the backend op counter unchanged."""
+        node = bed.node("server-host")
+        cnode = bed.node("client-host")
+        sdom = node.create_guest("s")
+        cdom = cnode.create_guest("c")
+        counts = {}
+
+        def scenario(env):
+            from repro.ib import connect
+
+            sfe, cfe = node.frontend(sdom), cnode.frontend(cdom)
+            sctx = yield from sfe.open_context()
+            cctx = yield from cfe.open_context()
+            scq = yield from sfe.create_cq(sctx)
+            ccq = yield from cfe.create_cq(cctx)
+            sqp = yield from sfe.create_qp(sctx, scq)
+            cqp = yield from cfe.create_qp(cctx, ccq)
+            yield from connect(sctx, sqp, cctx, cqp)
+            smr = yield from cfe.reg_mr(cctx, KiB, Access.full())
+            rmr = yield from sfe.reg_mr(sctx, KiB, Access.full())
+            counts["before"] = (
+                node.backend.ops_served + cnode.backend.ops_served
+            )
+            # Data path: 10 request/response rounds.
+            for _ in range(10):
+                yield from sctx.post_recv(sqp, rmr)
+                yield from cctx.post_send(cqp, smr)
+                yield from sctx.poll_cq_blocking(scq)
+            counts["after"] = (
+                node.backend.ops_served + cnode.backend.ops_served
+            )
+
+        proc = bed.env.process(scenario(bed.env))
+        bed.env.run(until=proc)
+        assert counts["after"] == counts["before"]
