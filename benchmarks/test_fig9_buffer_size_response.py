@@ -5,8 +5,6 @@ latency very close to the base value.  FreeMarket does not limit the
 latency since it does not have access to that information.'
 """
 
-from repro.units import KiB
-
 
 def test_fig9_buffer_size_response(run_figure):
     result = run_figure("fig9")

@@ -7,7 +7,6 @@ intervals, not just pointwise.
 
 import pathlib
 
-import pytest
 
 from repro.analysis import interference_reduction_pct, render_table
 from repro.benchex import INTERFERER_2MB

@@ -16,7 +16,7 @@ Run:  python examples/trading_day.py
 import numpy as np
 
 from repro.analysis import LatencySummary, render_table
-from repro.benchex import BenchExConfig, BenchExPair, run_pairs
+from repro.benchex import BenchExConfig, BenchExPair
 from repro.experiments import Testbed
 from repro.resex import IOShares, LatencySLA, ResExController
 from repro.units import KiB, SEC

@@ -1,4 +1,4 @@
-"""Result analysis: summaries, reductions, and text rendering."""
+"""Result analysis: summaries, reductions, exports and text rendering."""
 
 from repro.analysis.export import (
     figure_to_json,
@@ -12,16 +12,26 @@ from repro.analysis.stats import (
     interference_reduction_pct,
 )
 from repro.analysis.tables import render_histogram, render_series, render_table
+from repro.analysis.trace import (
+    chrome_trace_events,
+    to_chrome_trace_json,
+    write_chrome_trace,
+    write_telemetry_csv,
+)
 
 __all__ = [
     "LatencySummary",
+    "chrome_trace_events",
     "downsample",
     "figure_to_json",
     "interference_reduction_pct",
     "render_histogram",
     "render_series",
     "render_table",
+    "to_chrome_trace_json",
+    "write_chrome_trace",
     "write_figure_json",
     "write_latency_records_csv",
     "write_series_csv",
+    "write_telemetry_csv",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 import json
 import pathlib
-from typing import TYPE_CHECKING, Dict, Iterable, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple
 
 import numpy as np
 

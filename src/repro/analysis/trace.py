@@ -1,0 +1,145 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and flat CSV.
+
+The Chrome format (the ``chrome://tracing`` / Perfetto "JSON trace
+event" schema) renders each telemetry category as a process and each
+lane as a thread, so a run's layers stack visually: kernel counters on
+top, credit-scheduler slices per PCPU, HCA work requests per QP,
+fabric flows per link path, IBMon samples, ResEx intervals, BenchEx
+request breakdowns.
+
+Determinism matters here: two runs of the same seeded scenario must
+produce **byte-identical** files.  Everything emitted derives from
+simulation state only — pid/tid assignment is by sorted name, never by
+insertion order of an intermediate set, and no wall-clock timestamps
+appear anywhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import TelemetryBus
+
+#: Chrome trace timestamps are microseconds; ours are integer ns.
+_NS_PER_US = 1000.0
+
+
+def _lane_ids(bus: "TelemetryBus") -> Tuple[Dict[str, int], Dict[Tuple[str, str], int]]:
+    """Stable pid per category and tid per (category, lane)."""
+    cats = sorted({rec.cat for rec in bus.records})
+    pids = {cat: index + 1 for index, cat in enumerate(cats)}
+    lanes = sorted({(rec.cat, rec.lane) for rec in bus.records})
+    tids: Dict[Tuple[str, str], int] = {}
+    per_cat: Dict[str, int] = {}
+    for cat, lane in lanes:
+        per_cat[cat] = per_cat.get(cat, 0) + 1
+        tids[(cat, lane)] = per_cat[cat]
+    return pids, tids
+
+
+def chrome_trace_events(bus: "TelemetryBus") -> List[dict]:
+    """The ``traceEvents`` list for a bus: metadata + data events."""
+    pids, tids = _lane_ids(bus)
+    events: List[dict] = []
+    for cat, pid in sorted(pids.items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": cat},
+            }
+        )
+    for (cat, lane), tid in sorted(tids.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pids[cat],
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+    for rec in bus.records:
+        base = {
+            "name": rec.name,
+            "cat": rec.cat,
+            "ts": rec.ts_ns / _NS_PER_US,
+            "pid": pids[rec.cat],
+            "tid": tids[(rec.cat, rec.lane)],
+        }
+        if rec.kind == "span":
+            base["ph"] = "X"
+            base["dur"] = rec.dur_ns / _NS_PER_US
+            if rec.args:
+                base["args"] = rec.args_dict()
+        elif rec.kind == "counter":
+            base["ph"] = "C"
+            base["args"] = {rec.name: rec.value}
+        else:  # instant
+            base["ph"] = "i"
+            base["s"] = "t"  # thread-scoped instant
+            if rec.args:
+                base["args"] = rec.args_dict()
+        events.append(base)
+    return events
+
+
+def to_chrome_trace_json(bus: "TelemetryBus") -> str:
+    """Serialize the bus to a chrome://tracing-loadable JSON document."""
+    document = {
+        "traceEvents": chrome_trace_events(bus),
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulation-ns", "source": "repro.telemetry"},
+    }
+    return json.dumps(document, separators=(",", ":"), default=_json_default)
+
+
+def _json_default(obj):
+    # Telemetry args may carry numpy scalars from analysis code.
+    import numpy as np
+
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    raise TypeError(f"not JSON serializable: {type(obj)!r}")
+
+
+def write_chrome_trace(path: "str | pathlib.Path", bus: "TelemetryBus") -> int:
+    """Write the Chrome trace file; returns the number of data records."""
+    pathlib.Path(path).write_text(to_chrome_trace_json(bus) + "\n")
+    return len(bus.records)
+
+
+def write_telemetry_csv(path: "str | pathlib.Path", bus: "TelemetryBus") -> int:
+    """Flat long-format CSV of every record; returns the row count.
+
+    Columns: kind, cat, lane, name, ts_ns, dur_ns, value, args (JSON).
+    """
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["kind", "cat", "lane", "name", "ts_ns", "dur_ns", "value", "args"]
+        )
+        for rec in bus.records:
+            writer.writerow(
+                [
+                    rec.kind,
+                    rec.cat,
+                    rec.lane,
+                    rec.name,
+                    rec.ts_ns,
+                    rec.dur_ns,
+                    rec.value,
+                    json.dumps(rec.args_dict(), sort_keys=True, default=_json_default)
+                    if rec.args
+                    else "",
+                ]
+            )
+    return len(bus.records)

@@ -145,6 +145,17 @@ class BenchExServer:
             )
             self.records.append(record)
 
+            tel = env.telemetry
+            if tel.enabled:
+                lane = cfg.name
+                tel.span(
+                    "benchex", "request", cycle_start, t_responded,
+                    lane=lane, request_id=served, total_us=record.total_us,
+                )
+                tel.span("benchex", "PTime", cycle_start, t_request, lane=lane)
+                tel.span("benchex", "CTime", t_request, t_computed, lane=lane)
+                tel.span("benchex", "WTime", t_computed, t_responded, lane=lane)
+
             # --- report to the in-VM agent (costs ~10 us of guest CPU) ----
             if self.agent is not None:
                 yield vcpu.compute(cfg.reporting_cost_ns)

@@ -1,4 +1,4 @@
-"""Command-line interface: run figures and ad-hoc scenarios.
+"""Command-line interface: run figures, ad-hoc scenarios and traces.
 
 Examples::
 
@@ -6,7 +6,12 @@ Examples::
     python -m repro figures fig1 headline
     python -m repro figures --all --scale full --out results/
     python -m repro scenario --interferer 2MB --policy ioshares --sim-s 2
+    python -m repro trace fig1 -o fig1-trace.json
     python -m repro policies
+
+Status messages go to stderr through the shared telemetry logger, so
+``--quiet`` / ``--verbose`` behave uniformly across subcommands while
+stdout stays clean for experiment output.
 """
 
 from __future__ import annotations
@@ -18,16 +23,34 @@ import sys
 from typing import List, Optional
 
 from repro._version import __version__
+from repro.telemetry import configure as configure_logging
+from repro.telemetry import get_logger
 from repro.units import KiB, MiB
 
 
 def _parse_size(text: str) -> int:
     """'64KB' / '2MB' / '1048576' -> bytes."""
     t = text.strip().upper()
-    for suffix, mult in (("KB", KiB), ("KIB", KiB), ("MB", MiB), ("MIB", MiB)):
-        if t.endswith(suffix):
-            return int(float(t[: -len(suffix)]) * mult)
-    return int(t)
+    try:
+        for suffix, mult in (("KB", KiB), ("KIB", KiB), ("MB", MiB), ("MIB", MiB)):
+            if t.endswith(suffix):
+                return int(float(t[: -len(suffix)]) * mult)
+        return int(t)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (expected e.g. '64KB', '2MB' or bytes)"
+        ) from None
+
+
+def _format_size(nbytes) -> str:
+    """Inverse of :func:`_parse_size` for display ('2MB', '64KB', '123')."""
+    if isinstance(nbytes, str) or nbytes is None:
+        return str(nbytes)
+    if nbytes and nbytes % MiB == 0:
+        return f"{nbytes // MiB}MB"
+    if nbytes and nbytes % KiB == 0:
+        return f"{nbytes // KiB}KB"
+    return str(nbytes)
 
 
 def _run_experiment_set(args: argparse.Namespace, registry: dict) -> int:
@@ -56,13 +79,16 @@ def _run_experiment_set(args: argparse.Namespace, registry: dict) -> int:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    log = get_logger()
     for name in names:
+        log.debug(f"running {name}...")
         result = registry[name](seed=args.seed)
         text = result.render()
         print(text)
         print()
         if out_dir is not None:
             (out_dir / f"{name}.txt").write_text(text + "\n")
+            log.debug(f"saved {out_dir / f'{name}.txt'}")
             if args.json:
                 from repro.analysis import write_figure_json
 
@@ -91,7 +117,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if args.interferer:
         interferer = BenchExConfig(
             name="interferer",
-            buffer_bytes=_parse_size(args.interferer),
+            buffer_bytes=args.interferer,
             pipeline_depth=args.interferer_depth,
         )
     result = run_scenario(
@@ -117,7 +143,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             ],
             title=(
                 f"Reporting-VM latency "
-                f"(interferer={args.interferer or 'none'}, "
+                f"(interferer={_format_size(args.interferer) if args.interferer else 'none'}, "
                 f"policy={args.policy or 'none'}, cap={args.cap or '-'})"
             ),
         )
@@ -128,18 +154,82 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
+    log = get_logger()
     if args.scale:
         os.environ["REPRO_SCALE"] = args.scale
     text = generate_report(
         seed=args.seed,
         include_ablations=not args.no_ablations,
-        progress=lambda msg: print(msg, file=sys.stderr),
+        progress=log.info,
     )
     if args.output:
         pathlib.Path(args.output).write_text(text)
-        print(f"report written to {args.output}", file=sys.stderr)
+        log.info(f"report written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+#: Traceable scenario presets.  ``fig1`` runs the paper's interfered
+#: configuration *under IOShares management* so every layer of the
+#: stack (kernel, credit, hca/fabric, ibmon, resex, benchex) emits
+#: spans into the trace.
+TRACE_PRESETS = {
+    "base": {"interferer": None, "policy": None},
+    "interfered": {"interferer": "2MB", "policy": None},
+    "managed": {"interferer": "2MB", "policy": "ioshares"},
+    "fig1": {"interferer": "2MB", "policy": "ioshares"},
+}
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis import write_chrome_trace, write_telemetry_csv
+    from repro.benchex import BenchExConfig
+    from repro.experiments import run_scenario
+    from repro.telemetry import TelemetryBus
+
+    log = get_logger()
+    preset = dict(TRACE_PRESETS[args.scenario])
+    if args.interferer is not None:
+        preset["interferer"] = args.interferer or None
+    if args.policy is not None:
+        preset["policy"] = args.policy or None
+
+    interferer = None
+    size = preset["interferer"]
+    if size:
+        interferer = BenchExConfig(
+            name="interferer",
+            buffer_bytes=_parse_size(size) if isinstance(size, str) else size,
+        )
+
+    bus = TelemetryBus(kernel_dispatch=args.kernel_events)
+    log.debug(
+        f"tracing scenario {args.scenario!r} "
+        f"(interferer={_format_size(preset['interferer']) if preset['interferer'] else 'none'}, "
+        f"policy={preset['policy'] or 'none'}, sim_s={args.sim_s})"
+    )
+    run_scenario(
+        args.scenario,
+        interferer=interferer,
+        policy=preset["policy"],
+        sim_s=args.sim_s,
+        seed=args.seed,
+        telemetry=bus,
+    )
+
+    out = pathlib.Path(args.output or f"trace-{args.scenario}.json")
+    n = write_chrome_trace(out, bus)
+    layers = bus.categories()
+    log.info(
+        f"wrote {n} trace records from {len(layers)} layers to {out} "
+        "(load in chrome://tracing or https://ui.perfetto.dev)"
+    )
+    log.debug("layers: " + ", ".join(sorted(layers)))
+    if args.csv:
+        csv_path = out.with_suffix(".csv")
+        write_telemetry_csv(csv_path, bus)
+        log.info(f"wrote CSV records to {csv_path}")
     return 0
 
 
@@ -158,9 +248,31 @@ def build_parser() -> argparse.ArgumentParser:
         description="ResEx reproduction: run paper figures and scenarios.",
     )
     parser.add_argument("--version", action="version", version=__version__)
+
+    def add_verbosity_args(p: argparse.ArgumentParser, root: bool = False) -> None:
+        # On subparsers the flags default to SUPPRESS so a flag given
+        # before the subcommand is not clobbered by the sub-parse.
+        default = False if root else argparse.SUPPRESS
+        p.add_argument(
+            "-q",
+            "--quiet",
+            action="store_true",
+            default=default,
+            help="suppress status messages (stderr); output still prints",
+        )
+        p.add_argument(
+            "-v",
+            "--verbose",
+            action="store_true",
+            default=default,
+            help="show per-step detail messages on stderr",
+        )
+
+    add_verbosity_args(parser, root=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_experiment_args(p: argparse.ArgumentParser) -> None:
+        add_verbosity_args(p)
         p.add_argument("names", nargs="*", help="experiment names (see --list)")
         p.add_argument("--list", action="store_true", help="list experiments")
         p.add_argument("--all", action="store_true", help="run every experiment")
@@ -184,8 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
     ablations.set_defaults(func=_cmd_ablations)
 
     scenario = sub.add_parser("scenario", help="run one ad-hoc scenario")
+    add_verbosity_args(scenario)
     scenario.add_argument(
         "--interferer",
+        type=_parse_size,
         help="interfering VM buffer size (e.g. 2MB); omit for base case",
     )
     scenario.add_argument("--interferer-depth", type=int, default=2)
@@ -201,12 +315,46 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--seed", type=int, default=7)
     scenario.set_defaults(func=_cmd_scenario)
 
+    trace = sub.add_parser(
+        "trace",
+        help="run a scenario with full-stack tracing and write a Chrome "
+        "trace-event JSON file",
+    )
+    add_verbosity_args(trace)
+    trace.add_argument(
+        "scenario",
+        choices=sorted(TRACE_PRESETS),
+        help="traced scenario preset (fig1 = interfered + ioshares)",
+    )
+    trace.add_argument(
+        "-o", "--output", help="output file (default trace-<scenario>.json)"
+    )
+    trace.add_argument(
+        "--csv", action="store_true", help="also write a flat CSV of records"
+    )
+    trace.add_argument(
+        "--interferer",
+        type=_parse_size,
+        help="override the preset's interferer buffer size",
+    )
+    trace.add_argument("--policy", help="override the preset's pricing policy")
+    trace.add_argument(
+        "--kernel-events",
+        action="store_true",
+        help="include the per-event kernel dispatch firehose (large!)",
+    )
+    trace.add_argument("--sim-s", type=float, default=0.2)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.set_defaults(func=_cmd_trace)
+
     policies = sub.add_parser("policies", help="list registered pricing policies")
+    add_verbosity_args(policies)
     policies.set_defaults(func=_cmd_policies)
 
     report = sub.add_parser(
         "report", help="run everything and write a markdown report"
     )
+    add_verbosity_args(report)
     report.add_argument("-o", "--output", help="output file (default stdout)")
     report.add_argument("--seed", type=int, default=7)
     report.add_argument("--scale", choices=["fast", "full"], default=None)
@@ -221,6 +369,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.quiet and args.verbose:
+        parser.error("--quiet and --verbose are mutually exclusive")
+    configure_logging(quiet=args.quiet, verbose=args.verbose)
     return args.func(args)
 
 

@@ -10,7 +10,7 @@ canonical 64KB-vs-2MB outcome changes.  Each has a bench under
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 

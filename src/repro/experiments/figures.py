@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.analysis import (
     render_table,
 )
 from repro.benchex import BenchExConfig, INTERFERER_2MB, histogram_us
-from repro.experiments.scenarios import REPORTING_SLA, ScenarioResult, run_scenario
+from repro.experiments.scenarios import ScenarioResult, run_scenario
 from repro.resex import FreeMarket, IOShares
 from repro.units import KiB, SEC
 

@@ -9,7 +9,7 @@ drivers (backend in dom0, VMM-bypass fast path).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.errors import ConfigError
 from repro.hw.fabric import FluidFabric
@@ -18,7 +18,6 @@ from repro.ib.hca import HCA
 from repro.ib.params import DEFAULT_FABRIC_PARAMS, FabricParams
 from repro.sim.core import Environment
 from repro.sim.rng import RngRegistry
-from repro.units import GiB
 from repro.xen.domain import Domain
 from repro.xen.hypervisor import Hypervisor
 from repro.xen.splitdriver import IBBackend, IBFrontend

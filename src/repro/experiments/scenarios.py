@@ -8,7 +8,7 @@ run on the second host.  The *base case* is the reporting VM alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -17,7 +17,6 @@ from repro.analysis.stats import LatencySummary
 from repro.benchex import (
     BenchExConfig,
     BenchExPair,
-    INTERFERER_2MB,
     LatencyBreakdown,
     run_pairs,
 )
@@ -29,6 +28,7 @@ from repro.resex import (
     ResExController,
     policy_by_name,
 )
+from repro.telemetry import TelemetryBus
 from repro.units import SEC
 
 #: The calibrated base-case SLA for the reporting VM (209 us, tight).
@@ -49,10 +49,14 @@ class ScenarioResult:
     #: (completion time ns, latency us) samples of the first reporting VM.
     samples: List[tuple]
     #: Controller probe series keyed by name (empty without a policy).
+    #: Backward-compatible accessor: the same samples flow over the
+    #: telemetry bus (as ``resex`` counter records) when tracing is on.
     probe_series: Dict[str, tuple]
     #: domid of the interfering VM (None if absent).
     interferer_domid: Optional[int]
     sim_time_ns: int
+    #: The telemetry bus the run emitted to (None when tracing was off).
+    telemetry: Optional["TelemetryBus"] = None
 
     @property
     def breakdown(self) -> LatencyBreakdown:
@@ -76,6 +80,7 @@ def run_scenario(
     interferer_pacer_hz: Optional[float] = None,
     interferer_start_s: float = 0.0,
     reso_weights: Optional[Dict[str, float]] = None,
+    telemetry: Optional[TelemetryBus] = None,
 ) -> ScenarioResult:
     """Run one standard scenario and collect reporting-VM results.
 
@@ -89,6 +94,10 @@ def run_scenario(
     the interferer's onset (for measuring policy reaction time), and
     ``reso_weights`` maps ``{"reporting": w1, "interferer": w2}`` to a
     priority-weighted Reso distribution (§V-C's unequal shares).
+
+    ``telemetry`` attaches a :class:`~repro.telemetry.TelemetryBus` to
+    the run's environment so every layer emits trace records into it
+    (see ``python -m repro trace``).
     """
     if n_servers < 1:
         raise ConfigError("n_servers must be >= 1")
@@ -96,6 +105,8 @@ def run_scenario(
         policy = policy_by_name(policy)()
 
     bed = Testbed.paper_testbed(seed=seed)
+    if telemetry is not None:
+        bed.env.telemetry = telemetry
     server_node = bed.node("server-host")
     client_node = bed.node("client-host")
 
@@ -181,6 +192,7 @@ def run_scenario(
         probe_series=probe_series,
         interferer_domid=intf_pair.server_dom.domid if intf_pair else None,
         sim_time_ns=bed.env.now,
+        telemetry=telemetry,
     )
 
 

@@ -238,6 +238,7 @@ class FluidFabric:
         if nbytes == 0:
             transfer.completed_at = self.env.now
             self.completions.append((transfer.transfer_id, 0, 0, flow_label))
+            self._emit_flow(transfer)
             done.succeed(transfer)
             return transfer
 
@@ -248,6 +249,20 @@ class FluidFabric:
         return transfer
 
     # -- internals ------------------------------------------------------------
+    def _emit_flow(self, transfer: Transfer) -> None:
+        """Per-packet-flow telemetry: one span per completed transfer."""
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.span(
+                "fabric",
+                transfer.flow_label or f"transfer{transfer.transfer_id}",
+                transfer.submitted_at,
+                transfer.completed_at,
+                lane="+".join(link.name for link in transfer.path),
+                bytes=transfer.nbytes,
+                weight=transfer.weight,
+            )
+
     def _advance(self) -> None:
         """Progress all active transfers up to the current time."""
         now = self.env.now
@@ -303,6 +318,7 @@ class FluidFabric:
                         t.flow_label,
                     )
                 )
+                self._emit_flow(t)
             self._reallocate()
             for t in finished:
                 t.done.succeed(t)

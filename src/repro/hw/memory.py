@@ -15,7 +15,7 @@ them — including the sampling raciness the paper's IBMon has.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.errors import HypervisorError
 from repro.units import KiB

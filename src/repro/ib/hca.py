@@ -14,7 +14,7 @@ which is exactly how CPU caps throttle I/O rate (paper §V-B).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.errors import FabricError, ProtectionFault, QPError
 from repro.hw.fabric import FluidFabric
@@ -23,7 +23,7 @@ from repro.hw.memory import Buffer
 from repro.ib.cq import CQE, CompletionQueue, WCOpcode, WCStatus
 from repro.ib.mr import Access
 from repro.ib.params import DEFAULT_FABRIC_PARAMS, FabricParams
-from repro.ib.qp import Opcode, QPState, QueuePair, RecvWR, SendWR
+from repro.ib.qp import Opcode, QPState, QueuePair, SendWR
 from repro.ib.tpt import TPT
 from repro.ib.uar import UARPage
 from repro.sim.core import Environment
@@ -206,6 +206,7 @@ class HCA:
                 self._flush_send_queue(qp)
                 break
             wr = qp.send_queue[0]
+            wr_start = env.now
             # Doorbell propagation + WR descriptor fetch.
             yield env.timeout(p.doorbell_ns + p.wr_fetch_ns)
             try:
@@ -217,8 +218,34 @@ class HCA:
                 )
                 qp.send_queue.popleft()
                 self._flush_send_queue(qp)
+                tel = env.telemetry
+                if tel.enabled:
+                    tel.span(
+                        "hca",
+                        wr.opcode.name,
+                        wr_start,
+                        env.now,
+                        lane=f"{self.name}.qp{qp.qp_num}",
+                        qp_num=qp.qp_num,
+                        domid=qp.domid,
+                        bytes=wr.length,
+                        status="LOC_PROT_ERR",
+                    )
                 break
             qp.send_queue.popleft()
+            tel = env.telemetry
+            if tel.enabled:
+                tel.span(
+                    "hca",
+                    wr.opcode.name,
+                    wr_start,
+                    env.now,
+                    lane=f"{self.name}.qp{qp.qp_num}",
+                    qp_num=qp.qp_num,
+                    domid=qp.domid,
+                    bytes=wr.length,
+                    status="SUCCESS",
+                )
         self._busy_qps.discard(qp.qp_num)
         # A post may have raced with loop exit.
         if qp.send_queue and qp.state is QPState.RTS:

@@ -13,12 +13,11 @@ All time-consuming methods are generators: call them from a process as
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import QPError
-from repro.hw.memory import Buffer
 from repro.ib.cq import CQE, CompletionQueue
-from repro.ib.mr import Access, MemoryRegion
+from repro.ib.mr import MemoryRegion
 from repro.ib.qp import Opcode, QueuePair, RecvWR, SendWR
 from repro.ib.uar import UARPage
 

@@ -145,10 +145,23 @@ class IBMon:
         dom0 = self.node.hypervisor.dom0
         while True:
             yield self.env.timeout(self.sample_interval_ns)
+            sample_start = self.env.now
             ncqs = sum(len(vm.cqs) for vm in self._vms.values())
             # Introspection costs dom0 CPU per mapped ring.
             yield dom0.vcpu.compute(self.sample_cpu_ns * max(ncqs, 1))
             self.sample_now()
+            tel = self.env.telemetry
+            if tel.enabled:
+                tel.span(
+                    "ibmon",
+                    "sample",
+                    sample_start,
+                    self.env.now,
+                    lane=f"ibmon-{self.node.host.name}",
+                    sample=self.samples_taken,
+                    cqs_mapped=ncqs,
+                    vms=len(self._vms),
+                )
 
     def sample_now(self) -> None:
         """One sampling pass over every watched VM (also callable
@@ -215,7 +228,7 @@ class IBMon:
                 if size and (buffer_est is None or size > buffer_est):
                     buffer_est = size
             mcq.completions_accum = 0
-        return IBMonStats(
+        stats = IBMonStats(
             domid=domid,
             completions=completions,
             estimated_bytes=est_bytes,
@@ -223,6 +236,20 @@ class IBMon:
             buffer_size_estimate=buffer_est,
             qp_nums=qp_nums,
         )
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.event(
+                "ibmon",
+                "observation",
+                self.env.now,
+                lane=f"dom{domid}",
+                domid=domid,
+                completions=stats.completions,
+                est_bytes=stats.estimated_bytes,
+                est_mtus=stats.estimated_mtus,
+                buffer_est=stats.buffer_size_estimate,
+            )
+        return stats
 
     def __repr__(self) -> str:
         return f"<IBMon {self.node.host.name} vms={len(self._vms)}>"

@@ -154,16 +154,39 @@ class ResExController:
             # regardless of how long the management work itself takes.
             next_tick = start + (interval_index + 1) * p.interval_ns
             yield self.env.timeout(max(next_tick - self.env.now, 0))
+            tick_start = self.env.now
             yield dom0.vcpu.compute(self.INTERVAL_CPU_NS * len(self.vms))
             interval_index += 1
             self._read_sensors()
             self.policy.on_interval(self)
             self._record_probes()
             self.intervals_run += 1
+            tel = self.env.telemetry
+            if tel.enabled:
+                tel.span(
+                    "resex",
+                    "interval",
+                    tick_start,
+                    self.env.now,
+                    lane="controller",
+                    interval=interval_index,
+                    policy=self.policy.name,
+                )
             if interval_index % p.intervals_per_epoch == 0:
                 for vm in self.vms:
                     assert vm.account is not None
+                    balance_before = vm.account.balance
                     vm.account.replenish()
+                    if tel.enabled:
+                        tel.event(
+                            "resex",
+                            "replenish",
+                            self.env.now,
+                            lane=f"dom{vm.domid}",
+                            domid=vm.domid,
+                            balance_before=balance_before,
+                            balance_after=vm.account.balance,
+                        )
                 self.policy.on_epoch(self)
                 self.epochs_run += 1
 
@@ -244,6 +267,19 @@ class ResExController:
         """SetVMCap: actuate through the hypervisor."""
         cap = int(round(cap_percent))
         cap = max(1, min(100, cap))
+        tel = self.env.telemetry
+        if tel.enabled and cap != self.get_cap(vm):
+            tel.event(
+                "resex",
+                "pricing_decision",
+                self.env.now,
+                lane=f"dom{vm.domid}",
+                domid=vm.domid,
+                cap_pct=cap,
+                charge_rate=vm.charge_rate,
+                balance=vm.account.balance if vm.account else None,
+                policy=self.policy.name,
+            )
         self.node.xenstat.set_cap(vm.domid, cap)
 
     def get_cap(self, vm: MonitoredVM) -> int:

@@ -29,7 +29,7 @@ from repro.resex.policy import register_policy
 from repro.units import US
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.resex.controller import MonitoredVM, ResExController
+    from repro.resex.controller import ResExController
 
 
 @register_policy

@@ -22,7 +22,7 @@ paper" (§VI-B).  This implementation makes that choice pluggable via
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING
 
 from repro.errors import PricingError
 from repro.resex.policy import PricingPolicy, register_policy

@@ -5,7 +5,7 @@ with integer-nanosecond time, FIFO/priority resources, stores, probes,
 and named RNG streams.
 """
 
-from repro.sim.core import Environment
+from repro.sim.core import INFINITY, Environment
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -30,6 +30,7 @@ __all__ = [
     "Environment",
     "Event",
     "FilterStore",
+    "INFINITY",
     "Interrupt",
     "PriorityResource",
     "ProbeSet",

@@ -10,6 +10,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Iterable, List, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import SimulationError, StopSimulation
 from repro.sim.events import (
     NORMAL,
@@ -20,6 +21,12 @@ from repro.sim.events import (
     Timeout,
 )
 from repro.sim.process import Process, ProcessGenerator
+
+#: Sentinel time returned by :meth:`Environment.peek` when the event
+#: queue is empty: the largest representable int64 nanosecond instant,
+#: i.e. "no event will ever fire".  Compare against this instead of
+#: re-deriving ``2**63 - 1`` at call sites.
+INFINITY: int = 2**63 - 1
 
 
 class Environment:
@@ -37,6 +44,11 @@ class Environment:
         self._seq: int = 0
         self._active_process: Optional[Process] = None
         self._events_processed: int = 0
+        #: The telemetry bus every component of this simulation emits
+        #: through.  Defaults to whatever bus is installed globally —
+        #: the shared disabled NULL_BUS unless a trace is being
+        #: captured (see :mod:`repro.telemetry`).
+        self.telemetry = telemetry.current()
 
     # -- introspection --------------------------------------------------------
     @property
@@ -89,9 +101,9 @@ class Environment:
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
 
     def peek(self) -> int:
-        """Time of the next scheduled event, or a huge sentinel if empty."""
+        """Time of the next scheduled event, or :data:`INFINITY` if empty."""
         if not self._queue:
-            return 2**63 - 1
+            return INFINITY
         return self._queue[0][0]
 
     def step(self) -> None:
@@ -111,6 +123,11 @@ class Environment:
             for callback in callbacks:
                 callback(event)
         self._events_processed += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.kernel_tick(
+                self._now, self._events_processed, len(self._queue), event
+            )
 
         if not event._ok and not getattr(event, "_defused", False):
             exc = event._value

@@ -15,14 +15,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class TimeSeries:
-    """An append-only series of (time_ns, value) samples."""
+    """An append-only series of (time_ns, value) samples.
 
-    __slots__ = ("name", "_times", "_values")
+    The numpy views returned by :attr:`times` / :attr:`values` are
+    cached between appends, so repeated analysis passes over a finished
+    series do not re-copy it on every access.  Treat the returned
+    arrays as read-only: they are shared until the next ``record``.
+    """
+
+    __slots__ = ("name", "_times", "_values", "_times_arr", "_values_arr")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._times: List[int] = []
         self._values: List[float] = []
+        self._times_arr: Optional[np.ndarray] = None
+        self._values_arr: Optional[np.ndarray] = None
 
     def record(self, time_ns: int, value: float) -> None:
         """Append one sample; times must be non-decreasing."""
@@ -32,6 +40,8 @@ class TimeSeries:
             )
         self._times.append(time_ns)
         self._values.append(float(value))
+        self._times_arr = None
+        self._values_arr = None
 
     def __len__(self) -> int:
         return len(self._times)
@@ -39,12 +49,16 @@ class TimeSeries:
     @property
     def times(self) -> np.ndarray:
         """Sample times as an int64 array (ns)."""
-        return np.asarray(self._times, dtype=np.int64)
+        if self._times_arr is None:
+            self._times_arr = np.asarray(self._times, dtype=np.int64)
+        return self._times_arr
 
     @property
     def values(self) -> np.ndarray:
         """Sample values as a float64 array."""
-        return np.asarray(self._values, dtype=np.float64)
+        if self._values_arr is None:
+            self._values_arr = np.asarray(self._values, dtype=np.float64)
+        return self._values_arr
 
     def last(self) -> Tuple[int, float]:
         """Most recent (time, value) sample."""
@@ -94,7 +108,14 @@ class Counter:
 
 
 class ProbeSet:
-    """A named collection of series and counters owned by one component."""
+    """A named collection of series and counters owned by one component.
+
+    Probes are the analysis-facing store; every sample is additionally
+    mirrored onto the environment's telemetry bus (as a counter record
+    in the ``prefix`` category) whenever tracing is enabled, so probe
+    data shows up in exported traces without double bookkeeping at the
+    call sites.
+    """
 
     def __init__(self, env: "Environment", prefix: str = "") -> None:
         self.env = env
@@ -121,7 +142,11 @@ class ProbeSet:
 
     def record(self, name: str, value: float) -> None:
         """Record a sample at the current simulation time."""
-        self.ts(name).record(self.env.now, value)
+        now = self.env.now
+        self.ts(name).record(now, value)
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.counter(self.prefix or "probe", self._key(name), now, value)
 
 
 def sampled_mean(series: Sequence[float]) -> float:

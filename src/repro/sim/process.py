@@ -70,6 +70,9 @@ class Process(Event):
         """Advance the generator with ``event``'s outcome."""
         env = self.env
         env._active_process = self
+        tel = env.telemetry
+        if tel.kernel_dispatch:
+            tel.kernel_resume(env.now, self.name)
 
         # Detach from the previous target if we were interrupted while
         # waiting on a still-pending event.

@@ -8,7 +8,7 @@ both with ``with``-style generators and manual pairing.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import Event

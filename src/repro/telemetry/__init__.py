@@ -1,0 +1,76 @@
+"""Unified telemetry: the tracing/metrics bus and the CLI logger.
+
+The bus (:class:`TelemetryBus`) is the single structured channel every
+layer emits through — kernel dispatch statistics, credit-scheduler
+slices, HCA work requests, fabric transfers, IBMon samples, ResEx
+pricing decisions and BenchEx request breakdowns.  It is disabled by
+default (:data:`NULL_BUS`) and costs one attribute check per guarded
+emit site when off.
+
+Typical use::
+
+    from repro import telemetry
+    from repro.analysis import write_chrome_trace
+
+    with telemetry.capture() as bus:
+        result = run_scenario("traced", ...)
+    write_chrome_trace("trace.json", bus)
+
+or from the command line: ``python -m repro trace fig1``.
+"""
+
+from repro.telemetry.bus import (
+    BENCHEX,
+    COUNTER,
+    CREDIT,
+    FABRIC,
+    HCA,
+    IBMON,
+    INSTANT,
+    KERNEL,
+    NULL_BUS,
+    RESEX,
+    SPAN,
+    NullTelemetryBus,
+    TelemetryBus,
+    TraceRecord,
+    capture,
+    current,
+    deactivate,
+    install,
+)
+from repro.telemetry.log import (
+    NORMAL,
+    QUIET,
+    VERBOSE,
+    TelemetryLogger,
+    configure,
+    get_logger,
+)
+
+__all__ = [
+    "BENCHEX",
+    "COUNTER",
+    "CREDIT",
+    "FABRIC",
+    "HCA",
+    "IBMON",
+    "INSTANT",
+    "KERNEL",
+    "NORMAL",
+    "NULL_BUS",
+    "QUIET",
+    "RESEX",
+    "SPAN",
+    "VERBOSE",
+    "NullTelemetryBus",
+    "TelemetryBus",
+    "TelemetryLogger",
+    "TraceRecord",
+    "capture",
+    "configure",
+    "current",
+    "deactivate",
+    "get_logger",
+    "install",
+]

@@ -1,0 +1,67 @@
+"""CLI status logging with uniform verbosity control.
+
+Subcommands used to thread ad-hoc ``progress=lambda msg: print(...)``
+callables around; they now share one :class:`TelemetryLogger` so
+``--quiet`` and ``--verbose`` behave identically everywhere.  Status
+messages go to stderr — stdout stays reserved for experiment output
+(tables, reports) so pipelines keep working.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+#: Verbosity levels, in increasing chattiness.
+QUIET = 0
+NORMAL = 1
+VERBOSE = 2
+
+
+class TelemetryLogger:
+    """Leveled status logger for the CLI and long-running harness code."""
+
+    def __init__(self, level: int = NORMAL, stream: Optional[TextIO] = None) -> None:
+        self.level = level
+        self._stream = stream
+
+    @property
+    def stream(self) -> TextIO:
+        # Resolved lazily so pytest's capsys/stderr redirection works.
+        return self._stream if self._stream is not None else sys.stderr
+
+    def _emit(self, msg: str) -> None:
+        print(msg, file=self.stream)
+
+    def info(self, msg: str) -> None:
+        """Normal progress/status message (suppressed by --quiet)."""
+        if self.level >= NORMAL:
+            self._emit(msg)
+
+    def debug(self, msg: str) -> None:
+        """Detail message (shown only with --verbose)."""
+        if self.level >= VERBOSE:
+            self._emit(msg)
+
+    def warning(self, msg: str) -> None:
+        """Always shown, even under --quiet."""
+        self._emit(f"warning: {msg}")
+
+
+_logger = TelemetryLogger()
+
+
+def get_logger() -> TelemetryLogger:
+    """The process-wide CLI logger."""
+    return _logger
+
+
+def configure(
+    quiet: bool = False, verbose: bool = False, stream: Optional[TextIO] = None
+) -> TelemetryLogger:
+    """Set the global logger's level from CLI flags; returns it."""
+    if quiet and verbose:
+        raise ValueError("--quiet and --verbose are mutually exclusive")
+    _logger.level = QUIET if quiet else (VERBOSE if verbose else NORMAL)
+    _logger._stream = stream
+    return _logger

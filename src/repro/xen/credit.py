@@ -93,8 +93,18 @@ class PCPUScheduler:
 
     def _run(self):
         env = self.env
+        lane = f"pcpu{self.pcpu_id}"
         while True:
             # --- new accounting period -------------------------------------
+            tel = env.telemetry
+            if tel.enabled:
+                tel.instant(
+                    "credit",
+                    "accounting_period",
+                    env.now,
+                    lane=lane,
+                    runnable=sum(1 for v in self.vcpus if v.has_work()),
+                )
             for v in self.vcpus:
                 v.used_in_period = 0
             period_end = env.now + self.period_ns
@@ -135,13 +145,26 @@ class PCPUScheduler:
                 # competition; a lone VCPU runs to its budget/period edge.
                 if len(eligible) > 1:
                     horizon = min(horizon, self.quantum_ns)
-                vcpu._running_since = env.now
+                slice_start = env.now
+                vcpu._running_since = slice_start
                 ran = yield from self._run_vcpu(vcpu, horizon)
                 vcpu._running_since = None
                 vcpu.used_in_period += ran
                 vcpu._cumulative_ns += ran
                 vcpu.vtime += ran / vcpu.weight
                 self.busy_ns += ran
+                tel = env.telemetry
+                if tel.enabled and ran > 0:
+                    tel.span(
+                        "credit",
+                        f"vcpu{vcpu.vcpu_id}",
+                        slice_start,
+                        env.now,
+                        lane=lane,
+                        ran_ns=ran,
+                        used_in_period_ns=vcpu.used_in_period,
+                        cap_pct=vcpu.cap_percent,
+                    )
 
     def _run_vcpu(self, vcpu: VCPU, horizon_ns: int):
         """Run the VCPU's head work item for at most ``horizon_ns``.

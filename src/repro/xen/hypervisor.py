@@ -9,7 +9,7 @@ for dom0 introspection (the channel IBMon uses).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.errors import HypervisorError, IntrospectionError
 from repro.hw.host import Host
@@ -122,8 +122,21 @@ class Hypervisor:
     # -- scheduling controls -------------------------------------------------
     def set_cap(self, domid: int, cap_percent: int) -> None:
         """Set the CPU cap for every VCPU of a domain (ResEx's actuator)."""
-        for vcpu in self.domain(domid).vcpus:
+        domain = self.domain(domid)
+        old_cap = domain.vcpu.cap_percent
+        for vcpu in domain.vcpus:
             vcpu.cap_percent = cap_percent
+        tel = self.env.telemetry
+        if tel.enabled and cap_percent != old_cap:
+            tel.event(
+                "credit",
+                "cap_change",
+                self.env.now,
+                lane=f"dom{domid}",
+                domid=domid,
+                old_pct=old_cap,
+                new_pct=int(cap_percent),
+            )
 
     def get_cap(self, domid: int) -> int:
         return self.domain(domid).vcpu.cap_percent

@@ -21,7 +21,6 @@ from repro.hw.memory import Buffer
 from repro.ib.cq import CompletionQueue
 from repro.ib.hca import HCA
 from repro.ib.mr import Access, MemoryRegion
-from repro.ib.qp import QueuePair
 from repro.ib.verbs import IBContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

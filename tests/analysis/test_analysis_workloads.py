@@ -143,7 +143,7 @@ class TestPoissonThinkTimes:
 
 class TestTracePacedClient:
     def test_pacer_slows_request_rate(self):
-        from repro.benchex import BenchExConfig, BenchExPair, run_pairs
+        from repro.benchex import BenchExConfig, BenchExPair
         from repro.experiments.platform import Testbed
 
         bed = Testbed.paper_testbed(seed=8)

@@ -14,7 +14,7 @@ from repro.benchex import (
 )
 from repro.errors import ConfigError
 from repro.experiments.platform import Testbed
-from repro.units import KiB, MS
+from repro.units import KiB
 
 
 def small_run(interferer=None, n=150, seed=3, cap=None):

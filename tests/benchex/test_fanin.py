@@ -1,6 +1,5 @@
 """Fan-in (N:1) BenchEx and SRQ tests."""
 
-import numpy as np
 import pytest
 
 from repro.benchex import BenchExConfig, BenchExFanIn
@@ -44,7 +43,6 @@ class TestSRQ:
 
         proc = bed.env.process(scenario(bed.env))
         bed.env.run(until=proc)
-        from repro.ib.qp import RecvWR
 
         # Direct recv posting must be refused when an SRQ is attached.
         with pytest.raises(QPError, match="SRQ"):

@@ -1,13 +1,11 @@
 """Tests for the fluid fabric: fair sharing, completion timing, stats."""
 
-import math
-
 import pytest
 
 from repro.errors import FabricError
 from repro.hw import FluidFabric, PacketLink, maxmin_rates
 from repro.hw.fabric import Transfer
-from repro.sim import Environment, Event
+from repro.sim import Environment
 from repro.units import GiB, KiB, MiB, SEC, US
 
 GB_PER_S = float(GiB)  # 1 GiB/s link, the paper's effective IB rate

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.benchex import BenchExConfig, BenchExPair, run_pairs, deploy_pairs
+from repro.benchex import BenchExConfig, BenchExPair, run_pairs
 from repro.errors import IntrospectionError
 from repro.experiments.platform import Testbed
 from repro.ibmon import IBMon

@@ -1,6 +1,5 @@
 """Fan-in server under ResEx management (integration)."""
 
-import pytest
 
 from repro.benchex import BenchExConfig, BenchExFanIn, BenchExPair, INTERFERER_2MB
 from repro.experiments import Testbed

@@ -6,7 +6,6 @@ the congestion to the heavy sender, never to each other (the Fig. 8
 equal-I/O fairness property, generalized)."""
 
 import numpy as np
-import pytest
 
 from repro.benchex import BenchExConfig, BenchExPair, INTERFERER_2MB, run_pairs
 from repro.experiments import Testbed

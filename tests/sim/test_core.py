@@ -3,13 +3,28 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import Environment, Event, Interrupt
+from repro.sim import INFINITY, Environment, Event, Interrupt
 from repro.units import MS, US
 
 
 @pytest.fixture
 def env():
     return Environment()
+
+
+class TestPeekInfinity:
+    def test_empty_queue_peeks_infinity(self, env):
+        assert env.peek() == INFINITY
+
+    def test_infinity_is_int64_max(self):
+        assert INFINITY == 2**63 - 1
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(30)
+        env.timeout(10)
+        assert env.peek() == 10
+        env.run()
+        assert env.peek() == INFINITY
 
 
 class TestEnvironmentBasics:

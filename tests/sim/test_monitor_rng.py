@@ -23,6 +23,23 @@ class TestTimeSeries:
         with pytest.raises(ValueError):
             ts.record(5, 2.0)
 
+    def test_array_conversion_is_cached(self):
+        ts = TimeSeries()
+        ts.record(0, 1.0)
+        assert ts.times is ts.times
+        assert ts.values is ts.values
+
+    def test_cache_invalidated_on_record(self):
+        ts = TimeSeries()
+        ts.record(0, 1.0)
+        stale_times, stale_values = ts.times, ts.values
+        ts.record(5, 2.0)
+        assert ts.times is not stale_times
+        np.testing.assert_array_equal(ts.times, [0, 5])
+        np.testing.assert_array_equal(ts.values, [1.0, 2.0])
+        # The previously handed-out arrays are unchanged.
+        np.testing.assert_array_equal(stale_values, [1.0])
+
     def test_last(self):
         ts = TimeSeries()
         ts.record(3, 7.0)
@@ -80,6 +97,20 @@ class TestProbeSet:
         ts = probes.ts("latency")
         assert ts.name == "vm1.latency"
         assert ts.last() == (100, 209.0)
+
+    def test_record_mirrors_to_telemetry_bus(self):
+        from repro.telemetry import TelemetryBus
+
+        env = Environment()
+        env.telemetry = TelemetryBus()
+        probes = ProbeSet(env, prefix="resex")
+        probes.record("dom1.cap", 40.0)
+        counters = env.telemetry.select(kind="counter", cat="resex")
+        assert len(counters) == 1
+        assert counters[0].name == "resex.dom1.cap"
+        assert counters[0].value == 40.0
+        # The probe store itself still records (backward-compatible).
+        assert len(probes.ts("dom1.cap")) == 1
 
     def test_same_name_same_series(self):
         env = Environment()

@@ -1,0 +1,122 @@
+"""Exporter tests: Chrome trace golden file, CSV, and CLI round trip."""
+
+import csv
+import json
+import pathlib
+
+from repro.analysis import (
+    chrome_trace_events,
+    to_chrome_trace_json,
+    write_chrome_trace,
+    write_telemetry_csv,
+)
+from repro.telemetry import TelemetryBus
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_trace.json"
+
+
+def small_bus() -> TelemetryBus:
+    """A fixed, hand-written record set covering every record kind."""
+    bus = TelemetryBus()
+    bus.counter("kernel", "queue_depth", 0, 3)
+    bus.span("credit", "vcpu0", 100, 1100, lane="pcpu1", ran_ns=1000, cap_pct=20)
+    bus.span("hca", "SEND", 150, 950, lane="hca-a.qp16", bytes=65536)
+    bus.span("fabric", "qp16", 200, 900, lane="a.tx+b.rx", bytes=65536, weight=1.0)
+    bus.instant("resex", "pricing_decision", 1200, lane="dom1", domid=1, cap_pct=20)
+    bus.span("benchex", "request", 100, 1150, lane="rep0", request_id=51)
+    return bus
+
+
+class TestChromeExport:
+    def test_golden_file(self):
+        """Byte-for-byte stable export of a fixed record set.
+
+        If this fails after an intentional format change, regenerate
+        with: ``python -m tests.telemetry.test_trace_export``.
+        """
+        assert to_chrome_trace_json(small_bus()) + "\n" == GOLDEN.read_text()
+
+    def test_valid_json_structure(self):
+        doc = json.loads(to_chrome_trace_json(small_bus()))
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X", "C", "i"}
+
+    def test_metadata_names_processes_and_threads(self):
+        events = chrome_trace_events(small_bus())
+        meta = [e for e in events if e["ph"] == "M"]
+        process_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        assert process_names == {
+            "kernel",
+            "credit",
+            "hca",
+            "fabric",
+            "resex",
+            "benchex",
+        }
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert "pcpu1" in thread_names and "rep0" in thread_names
+
+    def test_timestamps_are_microseconds(self):
+        events = chrome_trace_events(small_bus())
+        span = next(e for e in events if e.get("ph") == "X")
+        assert span["ts"] == 0.1  # 100 ns
+        assert span["dur"] == 1.0  # 1000 ns
+
+    def test_write_returns_record_count(self, tmp_path):
+        out = tmp_path / "t.json"
+        assert write_chrome_trace(out, small_bus()) == 6
+        json.loads(out.read_text())
+
+
+class TestCsvExport:
+    def test_round_trip(self, tmp_path):
+        out = tmp_path / "t.csv"
+        assert write_telemetry_csv(out, small_bus()) == 6
+        with out.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 6
+        assert rows[0]["kind"] == "counter"
+        assert rows[0]["value"] == "3.0"
+        span = rows[1]
+        assert span["cat"] == "credit"
+        assert int(span["dur_ns"]) == 1000
+        assert json.loads(span["args"]) == {"cap_pct": 20, "ran_ns": 1000}
+
+
+class TestTraceCli:
+    def test_trace_subcommand_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fig1.json"
+        assert main(
+            ["trace", "fig1", "--sim-s", "0.05", "-o", str(out), "--csv"]
+        ) == 0
+        doc = json.loads(out.read_text())
+        span_layers = {
+            e["cat"] for e in doc["traceEvents"] if e.get("ph") == "X"
+        }
+        # Spans from >= 5 distinct layers, kernel present via counters.
+        assert {"credit", "hca", "fabric", "ibmon", "resex", "benchex"} <= span_layers
+        counter_layers = {
+            e["cat"] for e in doc["traceEvents"] if e.get("ph") == "C"
+        }
+        assert "kernel" in counter_layers
+        assert (tmp_path / "fig1.csv").exists()
+        assert "trace records" in capsys.readouterr().err
+
+    def test_quiet_suppresses_status(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "base.json"
+        assert main(["-q", "trace", "base", "--sim-s", "0.02", "-o", str(out)]) == 0
+        assert capsys.readouterr().err == ""
+
+
+if __name__ == "__main__":  # golden-file regeneration helper
+    GOLDEN.write_text(to_chrome_trace_json(small_bus()) + "\n")
+    print(f"regenerated {GOLDEN}")

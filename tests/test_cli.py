@@ -22,8 +22,16 @@ class TestParseSize:
         assert _parse_size(text) == expected
 
     def test_garbage_raises(self):
-        with pytest.raises(ValueError):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="invalid size"):
             _parse_size("lots")
+
+    def test_garbage_flag_is_clean_cli_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["scenario", "--interferer", "lots"])
+        assert exc.value.code == 2
+        assert "invalid size 'lots'" in capsys.readouterr().err
 
 
 class TestFiguresCommand:

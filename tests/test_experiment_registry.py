@@ -1,6 +1,5 @@
 """Registry and rendering sanity for the experiment harness (no sims)."""
 
-import pytest
 
 from repro.experiments import ALL_FIGURES, FigureResult, scale_factor
 from repro.experiments.ablations import ALL_ABLATIONS

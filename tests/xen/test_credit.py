@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SchedulerError
 from repro.sim import Environment
-from repro.units import MS, SEC, US
+from repro.units import MS, US
 from repro.xen.credit import PCPUScheduler
 from repro.xen.vcpu import VCPU
 

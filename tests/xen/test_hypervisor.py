@@ -5,7 +5,7 @@ import pytest
 from repro.errors import HypervisorError, IntrospectionError, SchedulerError
 from repro.hw import Host
 from repro.sim import Environment
-from repro.units import MS, US
+from repro.units import MS
 from repro.xen import Hypervisor, XenStat, xc_map_foreign_range
 
 
