@@ -18,7 +18,7 @@ from repro.analysis import LatencySummary, render_table
 from repro.benchex import BenchExConfig, BenchExPair, run_pairs
 from repro.experiments import Testbed
 from repro.resex import IOShares, LatencySLA, ResExController
-from repro.units import KiB, SEC
+from repro.units import SEC, KiB
 
 BASE_MEAN_US = 209.0
 SLA_MEAN_US = BASE_MEAN_US * 1.20

@@ -15,7 +15,7 @@ Run:  python examples/custom_policy.py
 """
 
 from repro.analysis import render_table
-from repro.benchex import BenchExConfig, BenchExPair, INTERFERER_2MB, run_pairs
+from repro.benchex import INTERFERER_2MB, BenchExConfig, BenchExPair, run_pairs
 from repro.experiments import Testbed
 from repro.resex import (
     FreeMarket,

@@ -13,10 +13,10 @@ Run:  python examples/exchange_fanin.py
 
 from repro.analysis import render_table
 from repro.benchex import (
+    INTERFERER_2MB,
     BenchExConfig,
     BenchExFanIn,
     BenchExPair,
-    INTERFERER_2MB,
 )
 from repro.experiments import Testbed
 from repro.resex import HwShares, IOShares, LatencySLA, ResExController

@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.analysis import interference_reduction_pct, render_table
-from repro.benchex import BenchExConfig, BenchExPair, INTERFERER_2MB, run_pairs
+from repro.benchex import INTERFERER_2MB, BenchExConfig, BenchExPair, run_pairs
 from repro.experiments import Testbed
 from repro.resex import IOShares, LatencySLA, ResExController
 from repro.units import SEC

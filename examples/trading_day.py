@@ -19,7 +19,7 @@ from repro.analysis import LatencySummary, render_table
 from repro.benchex import BenchExConfig, BenchExPair
 from repro.experiments import Testbed
 from repro.resex import IOShares, LatencySLA, ResExController
-from repro.units import KiB, SEC
+from repro.units import SEC, KiB
 from repro.workloads import TradingDayConfig, TradingDayTrace
 
 DAY = TradingDayConfig(

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigError
-from repro.units import KiB, US
+from repro.units import US, KiB
 
 
 @dataclass(frozen=True)

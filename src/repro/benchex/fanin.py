@@ -14,8 +14,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.benchex.config import BenchExConfig
 from repro.benchex.client import BenchExClient
+from repro.benchex.config import BenchExConfig
 from repro.benchex.latency import LatencyRecord
 from repro.benchex.reporting import LatencyAgent
 from repro.errors import BenchmarkError

@@ -233,6 +233,94 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table, write_chrome_trace
+    from repro.experiments import CHAOS_SCENARIOS, run_chaos_scenario
+    from repro.experiments.scenarios import chaos_config
+    from repro.faults import degradation_table, preset_campaign
+    from repro.telemetry import TelemetryBus
+    from repro.units import MS, SEC
+
+    log = get_logger()
+    chaos_config(args.scenario)  # validate the preset name up front
+    campaign = preset_campaign(args.campaign, args.sim_s, seed=args.seed)
+
+    overrides = {}
+    if args.policy is not None:
+        overrides["policy"] = args.policy or None
+    if args.interferer is not None:
+        from repro.benchex import BenchExConfig
+
+        overrides["interferer"] = BenchExConfig(
+            name="interferer", buffer_bytes=args.interferer
+        )
+
+    if args.dry_run:
+        print(
+            f"chaos plan: scenario={args.scenario} campaign={campaign.name} "
+            f"seed={args.seed} sim_s={args.sim_s}"
+        )
+        print(
+            render_table(
+                ["fault", "target", "start (s)", "dur (ms)", "sev"],
+                [
+                    [
+                        f.kind,
+                        f.target,
+                        f"{f.start_ns / SEC:.3f}",
+                        f"{f.duration_ns / MS:.1f}",
+                        f"{f.severity:.2f}",
+                    ]
+                    for f in campaign.faults
+                ],
+                title=f"campaign schedule ({len(campaign.faults)} faults)",
+            )
+        )
+        return 0
+
+    bus = TelemetryBus() if args.trace else None
+    if args.compare:
+        reports = {}
+        for variant, preset in sorted(CHAOS_SCENARIOS.items()):
+            if preset["policy"] is None:
+                continue
+            log.debug(f"running chaos variant {variant}...")
+            chaos = run_chaos_scenario(
+                variant,
+                campaign=campaign,
+                sim_s=args.sim_s,
+                seed=args.seed,
+                **overrides,
+            )
+            reports[chaos.report.policy] = chaos.report
+        print(degradation_table(reports))
+        return 0
+
+    log.debug(
+        f"running chaos scenario {args.scenario!r} "
+        f"(campaign={campaign.name}, sim_s={args.sim_s})"
+    )
+    chaos = run_chaos_scenario(
+        args.scenario,
+        campaign=campaign,
+        sim_s=args.sim_s,
+        seed=args.seed,
+        telemetry=bus,
+        **overrides,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(chaos.report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(chaos.report.render())
+    if args.trace:
+        out = pathlib.Path(args.trace)
+        n = write_chrome_trace(out, bus)
+        log.info(f"wrote {n} trace records to {out}")
+    return 0
+
+
 def _cmd_policies(_args: argparse.Namespace) -> int:
     from repro.resex import registered_policies
 
@@ -346,6 +434,52 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--sim-s", type=float, default=0.2)
     trace.add_argument("--seed", type=int, default=7)
     trace.set_defaults(func=_cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a scenario under a fault-injection campaign and print "
+        "a resilience report",
+    )
+    add_verbosity_args(chaos)
+    from repro.faults.presets import campaign_presets
+
+    chaos.add_argument(
+        "scenario",
+        help="chaos scenario preset (fig9 = interfered + ioshares; also "
+        "fig9-static, fig9-freemarket, interfered, base)",
+    )
+    chaos.add_argument(
+        "--campaign",
+        choices=campaign_presets(),
+        default="link-flap",
+        help="fault campaign preset (default link-flap)",
+    )
+    chaos.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the campaign schedule without running the scenario",
+    )
+    chaos.add_argument(
+        "--compare",
+        action="store_true",
+        help="run every managed scenario variant under the same campaign "
+        "and print the per-policy degradation table",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    chaos.add_argument(
+        "--trace", metavar="FILE", help="also write a Chrome trace-event file"
+    )
+    chaos.add_argument(
+        "--interferer",
+        type=_parse_size,
+        help="override the preset's interferer buffer size",
+    )
+    chaos.add_argument("--policy", help="override the preset's pricing policy")
+    chaos.add_argument("--sim-s", type=float, default=1.5)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.set_defaults(func=_cmd_chaos)
 
     policies = sub.add_parser("policies", help="list registered pricing policies")
     add_verbosity_args(policies)

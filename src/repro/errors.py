@@ -67,5 +67,9 @@ class BenchmarkError(ReproError):
     """Errors from BenchEx workload components."""
 
 
+class FaultError(ReproError):
+    """Invalid fault specification or campaign (repro.faults)."""
+
+
 class FinanceError(ReproError):
     """Errors from the financial algorithms library."""

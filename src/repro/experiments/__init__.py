@@ -3,26 +3,40 @@
 from repro.experiments.figures import ALL_FIGURES, FigureResult, scale_factor
 from repro.experiments.multiseed import (
     Replication,
+    replicate_chaos,
     replicate_comparison,
     replicate_scenario,
 )
 from repro.experiments.platform import Node, Testbed
 from repro.experiments.scenarios import (
+    CHAOS_SCENARIOS,
     REPORTING_SLA,
+    ChaosResult,
     ScenarioResult,
+    ScenarioSetup,
+    build_scenario,
+    default_fault_engine,
+    run_chaos_scenario,
     run_scenario,
 )
 
 __all__ = [
     "ALL_FIGURES",
+    "CHAOS_SCENARIOS",
+    "ChaosResult",
     "FigureResult",
     "Node",
     "REPORTING_SLA",
     "Replication",
     "ScenarioResult",
+    "ScenarioSetup",
     "Testbed",
+    "build_scenario",
+    "default_fault_engine",
+    "replicate_chaos",
     "replicate_comparison",
     "replicate_scenario",
+    "run_chaos_scenario",
     "run_scenario",
     "scale_factor",
 ]

@@ -14,7 +14,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.benchex import BenchExConfig, BenchExPair, INTERFERER_2MB, run_pairs
+from repro.benchex import INTERFERER_2MB, BenchExConfig, BenchExPair, run_pairs
 from repro.experiments.figures import FigureResult, scale_factor
 from repro.experiments.platform import Testbed
 from repro.experiments.scenarios import REPORTING_SLA, run_scenario

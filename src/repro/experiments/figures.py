@@ -25,10 +25,10 @@ from repro.analysis import (
     render_series,
     render_table,
 )
-from repro.benchex import BenchExConfig, INTERFERER_2MB, histogram_us
+from repro.benchex import INTERFERER_2MB, BenchExConfig, histogram_us
 from repro.experiments.scenarios import ScenarioResult, run_scenario
 from repro.resex import FreeMarket, IOShares
-from repro.units import KiB, SEC
+from repro.units import SEC, KiB
 
 
 def scale_factor() -> float:

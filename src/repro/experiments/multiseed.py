@@ -13,7 +13,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.experiments.scenarios import run_scenario
+from repro.experiments.scenarios import run_chaos_scenario, run_scenario
 
 
 @dataclass(frozen=True)
@@ -81,4 +81,51 @@ def replicate_comparison(
     return {
         label: replicate_scenario(label, seeds, **kwargs)
         for label, kwargs in configurations.items()
+    }
+
+
+#: Resilience metrics :func:`replicate_chaos` aggregates per seed.
+CHAOS_METRICS = ("excursion_us_s", "worst_ttr_ms", "recovered")
+
+
+def replicate_chaos(
+    name: str,
+    seeds: Sequence[int],
+    *,
+    campaign: str,
+    **chaos_kwargs,
+) -> Dict[str, Replication]:
+    """Replicate a chaos scenario across seeds; aggregate resilience.
+
+    Runs :func:`~repro.experiments.scenarios.run_chaos_scenario` once
+    per seed (the campaign preset is rebuilt per seed, so stochastic
+    campaigns vary while scripted ones repeat) and returns one
+    :class:`Replication` per metric in :data:`CHAOS_METRICS`:
+
+    * ``excursion_us_s`` — total latency-excursion area of the run;
+    * ``worst_ttr_ms`` — slowest recovery (``inf`` when a fault window
+      never healed, so the mean stays honest about non-recovery);
+    * ``recovered`` — 1.0/0.0 indicator that every window healed.
+    """
+    if not seeds:
+        raise ConfigError("at least one seed is required")
+    series: Dict[str, List[float]] = {m: [] for m in CHAOS_METRICS}
+    for seed in seeds:
+        chaos = run_chaos_scenario(
+            name, campaign=campaign, seed=seed, **chaos_kwargs
+        )
+        report = chaos.report
+        worst = report.worst_ttr_ms
+        series["excursion_us_s"].append(report.total_excursion_us_s)
+        series["worst_ttr_ms"].append(
+            float("inf") if worst is None else worst
+        )
+        series["recovered"].append(1.0 if report.recovered_all else 0.0)
+    return {
+        metric: Replication(
+            name=f"{name}/{metric}",
+            seeds=tuple(seeds),
+            values=tuple(values),
+        )
+        for metric, values in series.items()
     }

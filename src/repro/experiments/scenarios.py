@@ -4,6 +4,14 @@ Terminology follows the paper: the *reporting VM* runs the
 latency-sensitive 64 KB BenchEx instance on the server host; the
 *interfering VM* runs a larger-buffer instance beside it; their clients
 run on the second host.  The *base case* is the reporting VM alone.
+
+Construction and execution are split: :func:`build_scenario` wires the
+testbed, workload pairs and (optionally) the ResEx controller into a
+:class:`ScenarioSetup` without advancing time, and
+:meth:`ScenarioSetup.execute` runs it.  :func:`run_scenario` composes
+the two — the one-call API every figure uses — while the split lets
+:func:`run_chaos_scenario` attach a :class:`~repro.faults.FaultEngine`
+to the built platform before the first event fires.
 """
 
 from __future__ import annotations
@@ -21,7 +29,23 @@ from repro.benchex import (
     run_pairs,
 )
 from repro.errors import ConfigError
-from repro.experiments.platform import Testbed
+from repro.experiments.platform import Node, Testbed
+from repro.faults import (
+    CompletionDelay,
+    ControllerOutage,
+    DoorbellStall,
+    FaultCampaign,
+    FaultEngine,
+    FaultImpact,
+    LinkDegradation,
+    MonitorDropout,
+    MonitorStale,
+    ResilienceReport,
+    VCPUFreeze,
+    fault_impacts,
+    preset_campaign,
+)
+from repro.faults.metrics import DEFAULT_RECOVER_PCT, DEFAULT_ROLLING_WINDOW
 from repro.resex import (
     LatencySLA,
     PricingPolicy,
@@ -29,7 +53,7 @@ from repro.resex import (
     policy_by_name,
 )
 from repro.telemetry import TelemetryBus
-from repro.units import SEC
+from repro.units import SEC, MiB
 
 #: The calibrated base-case SLA for the reporting VM (209 us, tight).
 REPORTING_SLA = LatencySLA(
@@ -66,14 +90,84 @@ class ScenarioResult:
         return LatencySummary.from_samples(self.latencies_us)
 
 
-def run_scenario(
+@dataclass
+class ScenarioSetup:
+    """A fully wired, not-yet-run scenario."""
+
+    name: str
+    bed: Testbed
+    server_node: Node
+    client_node: Node
+    reporters: List[BenchExPair]
+    pairs: List[BenchExPair]
+    intf_pair: Optional[BenchExPair]
+    controller: Optional[ResExController]
+    interferer_pacer_hz: Optional[float]
+    interferer_start_s: float
+    telemetry: Optional[TelemetryBus]
+
+    def execute(self, sim_s: float = 1.5) -> ScenarioResult:
+        """Deploy the pairs, run for ``sim_s`` seconds, collect results."""
+        bed = self.bed
+        intf_pair = self.intf_pair
+        needs_custom_deploy = intf_pair is not None and (
+            self.interferer_pacer_hz is not None or self.interferer_start_s > 0
+        )
+        if needs_custom_deploy:
+            def deploy_all(env):
+                for pair in self.pairs:
+                    yield from pair.deploy()
+                if self.interferer_pacer_hz is not None:
+                    gap_ns = int(SEC / self.interferer_pacer_hz)
+                    intf_pair.client.pacer = lambda now: gap_ns
+                for pair in self.pairs:
+                    if pair is intf_pair and self.interferer_start_s > 0:
+                        continue
+                    pair.start()
+                if self.interferer_start_s > 0:
+                    yield env.timeout(int(self.interferer_start_s * SEC))
+                    intf_pair.start()
+
+            bed.env.process(deploy_all(bed.env), name="deploy")
+            bed.env.run(until=int(sim_s * SEC))
+        else:
+            run_pairs(bed, self.pairs, until_ns=int(sim_s * SEC))
+
+        reporters = self.reporters
+        breakdowns = [r.server_breakdown() for r in reporters]
+        pooled = np.concatenate(
+            [r.server.latencies_us() for r in reporters]
+        ) if reporters else np.array([])
+
+        probe_series: Dict[str, tuple] = {}
+        if self.controller is not None:
+            for key, series in self.controller.probes.series.items():
+                probe_series[key] = (series.times, series.values)
+
+        return ScenarioResult(
+            name=self.name,
+            breakdowns=breakdowns,
+            latencies_us=pooled,
+            samples=[
+                (r.t_cycle_start, r.total_us)
+                for r in reporters[0].server.records
+            ],
+            probe_series=probe_series,
+            interferer_domid=(
+                self.intf_pair.server_dom.domid if self.intf_pair else None
+            ),
+            sim_time_ns=bed.env.now,
+            telemetry=self.telemetry,
+        )
+
+
+def build_scenario(
     name: str,
     *,
     interferer: Optional[BenchExConfig] = None,
     policy: "PricingPolicy | str | None" = None,
     manual_cap: Optional[int] = None,
     n_servers: int = 1,
-    sim_s: float = 1.5,
     seed: int = 7,
     sla: LatencySLA = REPORTING_SLA,
     reporting_config: Optional[BenchExConfig] = None,
@@ -81,8 +175,8 @@ def run_scenario(
     interferer_start_s: float = 0.0,
     reso_weights: Optional[Dict[str, float]] = None,
     telemetry: Optional[TelemetryBus] = None,
-) -> ScenarioResult:
-    """Run one standard scenario and collect reporting-VM results.
+) -> ScenarioSetup:
+    """Wire one standard scenario without running it.
 
     Parameters mirror the paper's experiment axes: an optional
     interfering instance, an optional ResEx pricing policy (instance or
@@ -149,55 +243,176 @@ def run_scenario(
             controller.monitor(intf_pair.server_dom)
         controller.start()
 
-    needs_custom_deploy = intf_pair is not None and (
-        interferer_pacer_hz is not None or interferer_start_s > 0
-    )
-    if needs_custom_deploy:
-        def deploy_all(env):
-            for pair in pairs:
-                yield from pair.deploy()
-            if interferer_pacer_hz is not None:
-                gap_ns = int(SEC / interferer_pacer_hz)
-                intf_pair.client.pacer = lambda now: gap_ns
-            for pair in pairs:
-                if pair is intf_pair and interferer_start_s > 0:
-                    continue
-                pair.start()
-            if interferer_start_s > 0:
-                yield env.timeout(int(interferer_start_s * SEC))
-                intf_pair.start()
-
-        bed.env.process(deploy_all(bed.env), name="deploy")
-        bed.env.run(until=int(sim_s * SEC))
-    else:
-        run_pairs(bed, pairs, until_ns=int(sim_s * SEC))
-
-    breakdowns = [r.server_breakdown() for r in reporters]
-    pooled = np.concatenate(
-        [r.server.latencies_us() for r in reporters]
-    ) if reporters else np.array([])
-
-    probe_series: Dict[str, tuple] = {}
-    if controller is not None:
-        for key, series in controller.probes.series.items():
-            probe_series[key] = (series.times, series.values)
-
-    return ScenarioResult(
+    return ScenarioSetup(
         name=name,
-        breakdowns=breakdowns,
-        latencies_us=pooled,
-        samples=[
-            (r.t_cycle_start, r.total_us) for r in reporters[0].server.records
-        ],
-        probe_series=probe_series,
-        interferer_domid=intf_pair.server_dom.domid if intf_pair else None,
-        sim_time_ns=bed.env.now,
+        bed=bed,
+        server_node=server_node,
+        client_node=client_node,
+        reporters=reporters,
+        pairs=pairs,
+        intf_pair=intf_pair,
+        controller=controller,
+        interferer_pacer_hz=interferer_pacer_hz,
+        interferer_start_s=interferer_start_s,
         telemetry=telemetry,
     )
 
 
-def _deploy(pairs: List[BenchExPair]):
-    for pair in pairs:
-        yield from pair.deploy()
-    for pair in pairs:
-        pair.start()
+def run_scenario(
+    name: str,
+    *,
+    sim_s: float = 1.5,
+    **kwargs,
+) -> ScenarioResult:
+    """Run one standard scenario and collect reporting-VM results.
+
+    Equivalent to ``build_scenario(name, **kwargs).execute(sim_s)``;
+    see :func:`build_scenario` for the parameter axes.
+    """
+    return build_scenario(name, **kwargs).execute(sim_s)
+
+
+# -- chaos variants (repro.faults) ------------------------------------------
+
+#: The standard chaos scenarios: Fig. 9-style interfered configurations
+#: under each management regime, ready for a fault campaign.
+CHAOS_SCENARIOS: Dict[str, Dict[str, Optional[str]]] = {
+    "fig9": {"interferer": "2MB", "policy": "ioshares"},
+    "fig9-static": {"interferer": "2MB", "policy": "static-ratio"},
+    "fig9-freemarket": {"interferer": "2MB", "policy": "freemarket"},
+    "interfered": {"interferer": "2MB", "policy": None},
+    "base": {"interferer": None, "policy": None},
+}
+
+
+@dataclass
+class ChaosResult:
+    """One chaos run: the scenario outcome plus its resilience report."""
+
+    scenario: ScenarioResult
+    campaign: FaultCampaign
+    engine: FaultEngine
+    impacts: List[FaultImpact]
+    report: ResilienceReport
+
+
+def default_fault_engine(
+    setup: ScenarioSetup, campaign: FaultCampaign
+) -> FaultEngine:
+    """Wire the standard injector set for a built scenario.
+
+    Fabric and hypervisor injectors are always available; the monitor
+    and controller injectors only exist when the scenario runs under a
+    pricing policy.
+    """
+    engine = FaultEngine(setup.bed.env, campaign)
+    engine.register(LinkDegradation(setup.bed.fabric))
+    engine.register(DoorbellStall(setup.server_node.hca))
+    engine.register(CompletionDelay(setup.server_node.hca))
+    engine.register(VCPUFreeze(setup.server_node.hypervisor))
+    if setup.controller is not None:
+        engine.register(MonitorDropout(setup.controller.ibmon))
+        engine.register(MonitorStale(setup.controller.ibmon))
+        engine.register(ControllerOutage(setup.controller))
+    return engine
+
+
+def chaos_config(scenario: str) -> Dict[str, object]:
+    """Translate a :data:`CHAOS_SCENARIOS` preset into builder kwargs."""
+    try:
+        preset = CHAOS_SCENARIOS[scenario]
+    except KeyError:
+        raise ConfigError(
+            f"unknown chaos scenario {scenario!r} "
+            f"(try {sorted(CHAOS_SCENARIOS)})"
+        ) from None
+    kwargs: Dict[str, object] = {}
+    if preset["interferer"] == "2MB":
+        kwargs["interferer"] = BenchExConfig(
+            name="interferer", buffer_bytes=2 * MiB
+        )
+    kwargs["policy"] = preset["policy"]
+    return kwargs
+
+
+def run_chaos_scenario(
+    name: str,
+    *,
+    campaign: "FaultCampaign | str",
+    sim_s: float = 1.5,
+    seed: int = 7,
+    recover_pct: float = DEFAULT_RECOVER_PCT,
+    rolling_window: int = DEFAULT_ROLLING_WINDOW,
+    telemetry: Optional[TelemetryBus] = None,
+    **kwargs,
+) -> ChaosResult:
+    """Run a scenario with a fault campaign injected against it.
+
+    ``name`` may be a :data:`CHAOS_SCENARIOS` preset (which fixes the
+    interferer and policy) or any label, with the scenario axes passed
+    explicitly via ``kwargs`` as for :func:`build_scenario`.
+    ``campaign`` is a :class:`~repro.faults.FaultCampaign` or a preset
+    name from :func:`~repro.faults.campaign_presets`, scaled to
+    ``sim_s``.
+
+    After the run, per-fault resilience metrics are computed from the
+    first reporting VM's latency samples, and — when tracing — fault
+    recovery instants are appended to the telemetry bus so campaigns
+    render on their own track in Chrome traces.
+    """
+    if name in CHAOS_SCENARIOS:
+        merged = chaos_config(name)
+        merged.update(kwargs)
+        kwargs = merged
+    if isinstance(campaign, str):
+        campaign = preset_campaign(campaign, sim_s, seed=seed)
+
+    setup = build_scenario(name, seed=seed, telemetry=telemetry, **kwargs)
+    engine = default_fault_engine(setup, campaign)
+    engine.start()
+    result = setup.execute(sim_s)
+
+    impacts = fault_impacts(
+        result.samples,
+        campaign,
+        recover_pct=recover_pct,
+        rolling_window=rolling_window,
+    )
+    policy = kwargs.get("policy")
+    policy_name = (
+        policy if isinstance(policy, str)
+        else policy.name if policy is not None
+        else "none"
+    )
+    report = ResilienceReport(
+        scenario=name,
+        policy=policy_name,
+        campaign=campaign.name,
+        seed=seed,
+        sim_s=sim_s,
+        baseline_us=(
+            impacts[0].baseline_us if impacts else float("nan")
+        ),
+        impacts=tuple(impacts),
+    )
+    if telemetry is not None and telemetry.enabled:
+        for impact in impacts:
+            if impact.recovery_ns is None:
+                continue
+            fault = impact.fault
+            telemetry.event(
+                "faults",
+                "recover",
+                impact.recovery_ns,
+                lane=f"{fault.kind}:{fault.target}",
+                kind=fault.kind,
+                target=fault.target,
+                ttr_ns=impact.ttr_ns,
+            )
+    return ChaosResult(
+        scenario=result,
+        campaign=campaign,
+        engine=engine,
+        impacts=impacts,
+        report=report,
+    )

@@ -1,0 +1,73 @@
+"""Deterministic fault injection and resilience measurement.
+
+The paper evaluates ResEx on a healthy fabric; this package asks what
+happens when the platform itself misbehaves — links flap or degrade,
+the HCA stalls, IBMon goes blind or stale, the controller crashes and
+restarts, VCPUs freeze — and measures how each pricing policy absorbs
+the damage and how fast the victim's latency heals.
+
+Core pieces:
+
+* :mod:`~repro.faults.campaign` — :class:`Fault` specs, scripted and
+  seeded-stochastic (MTBF/MTTR) :class:`FaultCampaign` generators, and
+  the :class:`FaultEngine` that drives them as a simulation process;
+* :mod:`~repro.faults.injectors` — per-layer adapters onto the small
+  explicit fault hooks each component exposes;
+* :mod:`~repro.faults.metrics` — excursion area, time-to-recover and
+  per-policy degradation tables from latency samples;
+* :mod:`~repro.faults.presets` — the named campaigns behind
+  ``repro chaos --campaign``.
+
+Everything is byte-deterministic for a fixed seed: campaigns golden-
+file cleanly and two identical chaos invocations render identical
+resilience reports.
+"""
+
+from repro.faults.campaign import (
+    Fault,
+    FaultCampaign,
+    FaultEngine,
+    Injector,
+    RenewalSpec,
+)
+from repro.faults.injectors import (
+    CompletionDelay,
+    ControllerOutage,
+    DoorbellStall,
+    FederationOutage,
+    LinkDegradation,
+    MonitorDropout,
+    MonitorStale,
+    VCPUFreeze,
+)
+from repro.faults.metrics import (
+    DEFAULT_RECOVER_PCT,
+    FaultImpact,
+    ResilienceReport,
+    degradation_table,
+    fault_impacts,
+)
+from repro.faults.presets import campaign_presets, preset_campaign
+
+__all__ = [
+    "CompletionDelay",
+    "ControllerOutage",
+    "DEFAULT_RECOVER_PCT",
+    "DoorbellStall",
+    "Fault",
+    "FaultCampaign",
+    "FaultEngine",
+    "FaultImpact",
+    "FederationOutage",
+    "Injector",
+    "LinkDegradation",
+    "MonitorDropout",
+    "MonitorStale",
+    "RenewalSpec",
+    "ResilienceReport",
+    "VCPUFreeze",
+    "campaign_presets",
+    "degradation_table",
+    "fault_impacts",
+    "preset_campaign",
+]

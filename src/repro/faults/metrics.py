@@ -1,0 +1,328 @@
+"""Resilience metrics: what a fault cost and how fast the system healed.
+
+Inputs are the victim's request-latency samples ``(t_ns, latency_us)``
+— exactly what :class:`~repro.experiments.scenarios.ScenarioResult`
+collects — plus the campaign that ran against it.  For every fault
+window this module computes:
+
+* **baseline** — mean victim latency before the first fault;
+* **excursion area** — integral of latency *above* baseline from fault
+  onset until recovery (us x s): the total pain the fault caused;
+* **time-to-recover** — from fault onset until the rolling mean
+  latency re-enters (and stays within) ``recover_pct`` of baseline;
+* window means (during / after the fault) for degradation tables.
+
+All reductions are pure functions of the sample arrays, so a seeded
+run renders a byte-identical report every time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.faults.campaign import Fault, FaultCampaign
+from repro.units import MS, SEC, US
+
+#: Default recovery threshold: within 10% of pre-fault latency.
+DEFAULT_RECOVER_PCT = 10.0
+#: Default rolling-mean window (requests) for recovery detection.
+DEFAULT_ROLLING_WINDOW = 25
+
+
+@dataclass(frozen=True)
+class FaultImpact:
+    """Resilience metrics for one fault window."""
+
+    fault: Fault
+    baseline_us: float
+    #: Mean latency while the fault was active.
+    during_us: float
+    #: Mean latency from fault end to the end of the measure window.
+    after_us: float
+    #: Peak rolling-mean latency from onset to measure-window end.
+    peak_us: float
+    #: Integral of max(latency - baseline, 0) dt, onset -> window end.
+    excursion_us_s: float
+    #: Absolute time the rolling mean re-entered the recovery band for
+    #: good; None if it was still outside at the end of the window.
+    recovery_ns: Optional[int]
+    recover_pct: float
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_ns is not None
+
+    @property
+    def ttr_ns(self) -> Optional[int]:
+        """Time-to-recover from fault onset (None if never recovered)."""
+        if self.recovery_ns is None:
+            return None
+        return max(self.recovery_ns - self.fault.start_ns, 0)
+
+    def __repr__(self) -> str:
+        ttr = self.ttr_ns
+        return (
+            f"<FaultImpact {self.fault.kind}:{self.fault.target} "
+            f"ttr={'-' if ttr is None else f'{ttr / MS:.1f}ms'} "
+            f"area={self.excursion_us_s:.1f}us*s>"
+        )
+
+
+def _rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing rolling mean; the first ``window - 1`` entries use the
+    shorter prefix (so early samples still produce a value)."""
+    if len(values) == 0:
+        return values.astype(float)
+    window = max(int(window), 1)
+    csum = np.cumsum(np.concatenate([[0.0], values.astype(float)]))
+    n = np.arange(1, len(values) + 1)
+    lo = np.maximum(n - window, 0)
+    return (csum[n] - csum[lo]) / (n - lo)
+
+
+def fault_impacts(
+    samples: Sequence[Tuple[int, float]],
+    campaign: FaultCampaign,
+    recover_pct: float = DEFAULT_RECOVER_PCT,
+    rolling_window: int = DEFAULT_ROLLING_WINDOW,
+    baseline_us: Optional[float] = None,
+) -> List[FaultImpact]:
+    """Compute per-fault resilience metrics from latency samples.
+
+    Each fault's measure window runs from its onset to the next
+    fault's onset (or the last sample).  ``baseline_us`` defaults to
+    the mean latency over every sample before the first fault starts.
+    """
+    if not campaign.faults:
+        return []
+    times = np.asarray([t for t, _ in samples], dtype=np.int64)
+    lats = np.asarray([lat for _, lat in samples], dtype=float)
+    # A request observes a fault when it *completes*: attribute each
+    # sample to its completion instant, so damage from a fault landing
+    # mid-request never bleeds into the preceding measure window.
+    times = times + (lats * US).astype(np.int64)
+
+    first_start = campaign.faults[0].start_ns
+    if baseline_us is None:
+        pre = lats[times < first_start]
+        baseline_us = float(pre.mean()) if len(pre) else float("nan")
+    rolling = _rolling_mean(lats, rolling_window)
+    threshold = baseline_us * (1.0 + recover_pct / 100.0)
+
+    impacts: List[FaultImpact] = []
+    starts = [f.start_ns for f in campaign.faults]
+    for index, fault in enumerate(campaign.faults):
+        window_end = (
+            starts[index + 1]
+            if index + 1 < len(starts)
+            else int(times[-1]) + 1 if len(times) else fault.end_ns
+        )
+        sel = (times >= fault.start_ns) & (times < window_end)
+        idx = np.flatnonzero(sel)
+        if len(idx) == 0:
+            impacts.append(
+                FaultImpact(
+                    fault=fault,
+                    baseline_us=baseline_us,
+                    during_us=float("nan"),
+                    after_us=float("nan"),
+                    peak_us=float("nan"),
+                    excursion_us_s=0.0,
+                    recovery_ns=None,
+                    recover_pct=recover_pct,
+                )
+            )
+            continue
+
+        w_times = times[idx]
+        w_lats = lats[idx]
+        w_roll = rolling[idx]
+
+        during = w_lats[w_times < fault.end_ns]
+        after = w_lats[w_times >= fault.end_ns]
+        during_us = float(during.mean()) if len(during) else float("nan")
+        after_us = float(after.mean()) if len(after) else float("nan")
+        peak_us = float(w_roll.max())
+
+        # Excursion area: rectangle integration of latency above
+        # baseline between consecutive samples inside the window.
+        if math.isnan(baseline_us):
+            excursion = 0.0
+        else:
+            over = np.maximum(w_lats[:-1] - baseline_us, 0.0)
+            dt_s = np.diff(w_times) / SEC
+            excursion = float(np.dot(over, dt_s))
+
+        # Recovery: the first instant after which the rolling mean
+        # never leaves the band again within this window.
+        recovery_ns: Optional[int] = None
+        if not math.isnan(baseline_us):
+            violating = np.flatnonzero(w_roll > threshold)
+            if len(violating) == 0:
+                recovery_ns = fault.start_ns  # never left the band
+            elif violating[-1] + 1 < len(w_roll):
+                recovery_ns = int(w_times[violating[-1] + 1])
+
+        impacts.append(
+            FaultImpact(
+                fault=fault,
+                baseline_us=baseline_us,
+                during_us=during_us,
+                after_us=after_us,
+                peak_us=peak_us,
+                excursion_us_s=excursion,
+                recovery_ns=recovery_ns,
+                recover_pct=recover_pct,
+            )
+        )
+    return impacts
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Everything a chaos run measured, renderable byte-identically."""
+
+    scenario: str
+    policy: str
+    campaign: str
+    seed: int
+    sim_s: float
+    baseline_us: float
+    impacts: Tuple[FaultImpact, ...]
+
+    @property
+    def recovered_all(self) -> bool:
+        return all(i.recovered for i in self.impacts)
+
+    @property
+    def total_excursion_us_s(self) -> float:
+        return float(sum(i.excursion_us_s for i in self.impacts))
+
+    @property
+    def worst_ttr_ms(self) -> Optional[float]:
+        """Largest time-to-recover in ms; None if any fault never healed."""
+        ttrs = []
+        for impact in self.impacts:
+            if impact.ttr_ns is None:
+                return None
+            ttrs.append(impact.ttr_ns / MS)
+        return max(ttrs) if ttrs else 0.0
+
+    def rows(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for impact in self.impacts:
+            f = impact.fault
+            ttr = impact.ttr_ns
+            rows.append(
+                [
+                    f"{f.kind}:{f.target}",
+                    f"{f.start_ns / SEC:.3f}",
+                    f"{f.duration_ns / MS:.1f}",
+                    f"{f.severity:.2f}",
+                    f"{impact.during_us:.1f}",
+                    f"{impact.peak_us:.1f}",
+                    f"{impact.excursion_us_s:.2f}",
+                    "-" if ttr is None else f"{ttr / MS:.1f}",
+                ]
+            )
+        return rows
+
+    def render(self) -> str:
+        """Deterministic text report (the ``repro chaos`` output)."""
+        lines = [
+            f"Resilience report: scenario={self.scenario} "
+            f"policy={self.policy} campaign={self.campaign} seed={self.seed}",
+            f"baseline latency: {self.baseline_us:.1f} us "
+            f"(recovery band +{self.impacts[0].recover_pct:.0f}%)"
+            if self.impacts
+            else f"baseline latency: {self.baseline_us:.1f} us",
+            "",
+            render_table(
+                [
+                    "fault",
+                    "start (s)",
+                    "dur (ms)",
+                    "sev",
+                    "during (us)",
+                    "peak (us)",
+                    "area (us*s)",
+                    "ttr (ms)",
+                ],
+                self.rows(),
+                title=f"fault windows ({len(self.impacts)})",
+            ),
+            "",
+            f"total excursion area: {self.total_excursion_us_s:.2f} us*s",
+            "recovered: "
+            + ("yes" if self.recovered_all else "NO (some windows never healed)")
+            + (
+                f" (worst ttr {self.worst_ttr_ms:.1f} ms)"
+                if self.worst_ttr_ms is not None
+                else ""
+            ),
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly structure (for ``repro chaos --json``)."""
+        return {
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "campaign": self.campaign,
+            "seed": self.seed,
+            "sim_s": self.sim_s,
+            "baseline_us": self.baseline_us,
+            "total_excursion_us_s": self.total_excursion_us_s,
+            "recovered_all": self.recovered_all,
+            "impacts": [
+                {
+                    "kind": i.fault.kind,
+                    "target": i.fault.target,
+                    "start_ns": i.fault.start_ns,
+                    "duration_ns": i.fault.duration_ns,
+                    "severity": i.fault.severity,
+                    "baseline_us": i.baseline_us,
+                    "during_us": i.during_us,
+                    "after_us": i.after_us,
+                    "peak_us": i.peak_us,
+                    "excursion_us_s": i.excursion_us_s,
+                    "recovery_ns": i.recovery_ns,
+                }
+                for i in self.impacts
+            ],
+        }
+
+
+def degradation_table(reports: Dict[str, "ResilienceReport"]) -> str:
+    """Per-policy degradation table across chaos runs of one campaign.
+
+    ``reports`` maps a label (usually the policy name) to its report;
+    rows are emitted in label-sorted order for determinism.
+    """
+    rows = []
+    for label in sorted(reports):
+        report = reports[label]
+        worst = report.worst_ttr_ms
+        during = [i.during_us for i in report.impacts
+                  if not math.isnan(i.during_us)]
+        rows.append(
+            [
+                label,
+                f"{report.baseline_us:.1f}",
+                f"{(sum(during) / len(during)):.1f}" if during else "-",
+                f"{report.total_excursion_us_s:.2f}",
+                "-" if worst is None else f"{worst:.1f}",
+                "yes" if report.recovered_all else "NO",
+            ]
+        )
+    return render_table(
+        ["policy", "base (us)", "faulted (us)", "area (us*s)",
+         "worst ttr (ms)", "recovered"],
+        rows,
+        title="policy degradation under identical campaign",
+    )

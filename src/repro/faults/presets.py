@@ -1,0 +1,129 @@
+"""Named fault-campaign presets for the chaos CLI and tests.
+
+Presets are expressed as fractions of the run length so the same
+preset scales with ``--sim-s``.  Targets use the canonical paper
+testbed names (:meth:`~repro.experiments.platform.Testbed.paper_testbed`):
+the shared contention point is the server host's egress port
+``server-host.tx`` — the link the 2 MB interferer saturates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import FaultError
+from repro.faults.campaign import Fault, FaultCampaign, RenewalSpec
+from repro.sim.rng import RngRegistry
+from repro.units import MS, SEC
+
+#: The contended link in the paper testbed.
+SERVER_TX = "server-host.tx"
+
+
+def _at(sim_s: float, fraction: float) -> int:
+    return int(sim_s * fraction * SEC)
+
+
+def _link_flap(sim_s: float, seed: int) -> FaultCampaign:
+    """Three short full outages of the server egress link."""
+    flap_ns = 10 * MS
+    return FaultCampaign.scripted(
+        [
+            Fault("link-degrade", SERVER_TX, _at(sim_s, frac), flap_ns, 1.0)
+            for frac in (0.35, 0.50, 0.65)
+        ],
+        name="link-flap",
+    )
+
+
+def _link_degrade(sim_s: float, seed: int) -> FaultCampaign:
+    """One long 50%-capacity degradation window on the server egress."""
+    start = _at(sim_s, 0.35)
+    return FaultCampaign.scripted(
+        [Fault("link-degrade", SERVER_TX, start, _at(sim_s, 0.40), 0.5)],
+        name="link-degrade",
+    )
+
+
+def _monitor_dropout(sim_s: float, seed: int) -> FaultCampaign:
+    """IBMon stops sampling, then serves stale estimates."""
+    return FaultCampaign.scripted(
+        [
+            Fault("ibmon-dropout", "server-host", _at(sim_s, 0.35),
+                  _at(sim_s, 0.20)),
+            Fault("ibmon-stale", "server-host", _at(sim_s, 0.60),
+                  _at(sim_s, 0.15)),
+        ],
+        name="monitor-dropout",
+    )
+
+
+def _controller_restart(sim_s: float, seed: int) -> FaultCampaign:
+    """The ResEx controller goes down mid-run and restarts."""
+    return FaultCampaign.scripted(
+        [
+            Fault("controller-outage", "server-host", _at(sim_s, 0.35),
+                  _at(sim_s, 0.20)),
+        ],
+        name="controller-restart",
+    )
+
+
+def _combined(sim_s: float, seed: int) -> FaultCampaign:
+    """Degraded link, blind monitor, then a controller restart."""
+    return FaultCampaign.scripted(
+        [
+            Fault("link-degrade", SERVER_TX, _at(sim_s, 0.30),
+                  _at(sim_s, 0.20), 0.5),
+            Fault("ibmon-dropout", "server-host", _at(sim_s, 0.45),
+                  _at(sim_s, 0.15)),
+            Fault("controller-outage", "server-host", _at(sim_s, 0.62),
+                  _at(sim_s, 0.12)),
+        ],
+        name="combined",
+    )
+
+
+def _random(sim_s: float, seed: int) -> FaultCampaign:
+    """Seeded MTBF/MTTR renewal mix across several fault sources."""
+    rng = RngRegistry(seed).stream("faults/random-campaign")
+    horizon = int(sim_s * SEC)
+    specs = [
+        RenewalSpec("link-degrade", SERVER_TX,
+                    mtbf_ns=int(0.5 * horizon), mttr_ns=int(0.05 * horizon),
+                    severity=0.5),
+        RenewalSpec("hca-doorbell-stall", "server-host",
+                    mtbf_ns=int(0.7 * horizon), mttr_ns=int(0.05 * horizon),
+                    severity=0.5),
+        RenewalSpec("ibmon-dropout", "server-host",
+                    mtbf_ns=int(0.6 * horizon), mttr_ns=int(0.08 * horizon)),
+    ]
+    return FaultCampaign.stochastic(specs, horizon, rng, name="random")
+
+
+_PRESETS: Dict[str, Callable[[float, int], FaultCampaign]] = {
+    "link-flap": _link_flap,
+    "link-degrade": _link_degrade,
+    "monitor-dropout": _monitor_dropout,
+    "controller-restart": _controller_restart,
+    "combined": _combined,
+    "random": _random,
+}
+
+
+def campaign_presets() -> List[str]:
+    """Available preset names, sorted."""
+    return sorted(_PRESETS)
+
+
+def preset_campaign(name: str, sim_s: float, seed: int = 7) -> FaultCampaign:
+    """Build the named preset scaled to a ``sim_s``-second run."""
+    try:
+        builder = _PRESETS[name]
+    except KeyError:
+        raise FaultError(
+            f"unknown campaign preset {name!r} (try {campaign_presets()})"
+        ) from None
+    if sim_s <= 0:
+        raise FaultError("sim_s must be positive")
+    return builder(sim_s, seed)

@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import FabricError
 from repro.sim.core import Environment
 from repro.sim.events import Event
-from repro.units import KiB, SEC
+from repro.units import SEC, KiB
 
 #: Residual byte count below which a fluid transfer counts as finished.
 _COMPLETION_EPS = 1e-6
@@ -31,7 +31,14 @@ _COMPLETION_EPS = 1e-6
 class NetLink:
     """One unidirectional link (or link direction) with fixed capacity."""
 
-    __slots__ = ("name", "capacity_bps", "bytes_accepted", "_util_integral")
+    __slots__ = (
+        "name",
+        "capacity_bps",
+        "nominal_bps",
+        "degraded_factor",
+        "bytes_accepted",
+        "_util_integral",
+    )
 
     def __init__(self, name: str, capacity_bytes_per_sec: float) -> None:
         if capacity_bytes_per_sec <= 0:
@@ -40,6 +47,13 @@ class NetLink:
             )
         self.name = name
         self.capacity_bps = float(capacity_bytes_per_sec)
+        #: Healthy capacity; ``capacity_bps`` is this scaled by the
+        #: current degradation factor (fault injection, see
+        #: :mod:`repro.faults`).
+        self.nominal_bps = float(capacity_bytes_per_sec)
+        #: Fraction of nominal capacity currently available in [0, 1].
+        #: 0 means the link is down (flap): transfers stall in place.
+        self.degraded_factor = 1.0
         #: Total bytes of transfers routed through this link.
         self.bytes_accepted: int = 0
         #: Integral of (allocated rate / capacity) d(t) in ns units.
@@ -193,16 +207,41 @@ class FluidFabric:
         return tuple(self._active)
 
     def set_link_capacity(self, name: str, capacity_bytes_per_sec: float) -> None:
-        """Change a link's capacity at runtime (HW rate-limit updates).
+        """Change a link's *nominal* capacity at runtime (HW rate-limit
+        updates).
 
         Active transfers are advanced at their old rates first, then
-        rates are recomputed under the new capacity.
+        rates are recomputed under the new capacity (scaled by any
+        degradation currently injected on the link).
         """
         if capacity_bytes_per_sec <= 0:
             raise FabricError("capacity must be > 0")
         link = self.link(name)
         self._advance()
-        link.capacity_bps = float(capacity_bytes_per_sec)
+        link.nominal_bps = float(capacity_bytes_per_sec)
+        link.capacity_bps = link.nominal_bps * link.degraded_factor
+        self._reallocate()
+        self._schedule_next()
+
+    def set_link_degradation(self, name: str, available_factor: float) -> None:
+        """Degrade (or restore) a link to a fraction of nominal capacity.
+
+        ``available_factor`` is the fraction of healthy capacity still
+        usable: 1.0 restores the link, 0.5 halves it, 0.0 takes it down
+        entirely.  In-flight transfers are re-rated immediately: they
+        advance at their old rates up to *now*, then share whatever
+        capacity remains (stalling in place when the link is down, and
+        resuming when it comes back).  This is the :mod:`repro.faults`
+        hook for link-degradation and link-flap fault injection.
+        """
+        if not 0.0 <= available_factor <= 1.0:
+            raise FabricError(
+                f"degradation factor must be in [0, 1], got {available_factor}"
+            )
+        link = self.link(name)
+        self._advance()
+        link.degraded_factor = float(available_factor)
+        link.capacity_bps = link.nominal_bps * link.degraded_factor
         self._reallocate()
         self._schedule_next()
 
@@ -275,7 +314,10 @@ class FluidFabric:
                 for link in t.path:
                     link_rate[link] = link_rate.get(link, 0.0) + t.rate
             for link, rate in link_rate.items():
-                link._util_integral += (rate / link.capacity_bytes_per_ns) * dt
+                # A fully-degraded (down) link carries no traffic and
+                # counts as unutilized for the duration of the outage.
+                if link.capacity_bytes_per_ns > 0:
+                    link._util_integral += (rate / link.capacity_bytes_per_ns) * dt
         self._last_advance = now
 
     def _reallocate(self) -> None:
@@ -292,11 +334,17 @@ class FluidFabric:
         generation = self._timer_generation
         dt_min = math.inf
         for t in self._active:
-            if t.rate <= 0:  # pragma: no cover - max-min always assigns > 0
+            # Rate 0 happens only when a link on the path is fully
+            # degraded (down): the transfer is stalled and finishes no
+            # sooner than the next capacity change, which reallocates
+            # and reschedules.
+            if t.rate <= 0:
                 continue
             dt_min = min(dt_min, t.remaining / t.rate)
-        if not math.isfinite(dt_min):  # pragma: no cover - defensive
-            raise FabricError("active transfers with zero allocated rate")
+        if not math.isfinite(dt_min):
+            # Every active transfer is stalled on a downed link; there
+            # is nothing to time until capacity is restored.
+            return
         delay = max(int(math.ceil(dt_min)), 1)
         timer = self.env.timeout(delay)
         timer.callbacks.append(lambda _ev: self._on_timer(generation))

@@ -71,6 +71,12 @@ class HCA:
         #: estimates against these; ResEx itself must not read them).
         self.bytes_sent_by_domain: Dict[int, int] = {}
         self.mtus_sent_by_domain: Dict[int, int] = {}
+        #: Fault-injection hooks (:mod:`repro.faults`): extra latency
+        #: added to every doorbell-to-WR-fetch step, and extra delay
+        #: before each send-side completion is written.  Both 0 when
+        #: the adapter is healthy.
+        self.fault_doorbell_stall_ns: int = 0
+        self.fault_cqe_delay_ns: int = 0
         host.hca = self
 
     # -- object creation (control path; costs charged by the split driver) ----
@@ -207,8 +213,11 @@ class HCA:
                 break
             wr = qp.send_queue[0]
             wr_start = env.now
-            # Doorbell propagation + WR descriptor fetch.
-            yield env.timeout(p.doorbell_ns + p.wr_fetch_ns)
+            # Doorbell propagation + WR descriptor fetch (plus any
+            # injected doorbell stall while a fault is active).
+            yield env.timeout(
+                p.doorbell_ns + p.wr_fetch_ns + self.fault_doorbell_stall_ns
+            )
             try:
                 yield from self._execute_wr(qp, wr)
             except ProtectionFault:
@@ -311,6 +320,8 @@ class HCA:
 
         # RC ack returns to the requester.
         yield env.timeout(p.ack_turnaround_ns + p.oneway_ns)
+        if self.fault_cqe_delay_ns:
+            yield env.timeout(self.fault_cqe_delay_ns)
         self._complete_send(qp, wr, WCStatus.SUCCESS)
 
     def _deliver_send(self, qp: QueuePair, peer: QueuePair, wr: SendWR):
@@ -364,6 +375,8 @@ class HCA:
         )
         yield transfer.done
         yield env.timeout(p.oneway_ns)
+        if self.fault_cqe_delay_ns:
+            yield env.timeout(self.fault_cqe_delay_ns)
         self._complete_send(qp, wr, WCStatus.SUCCESS, opcode=WCOpcode.RDMA_READ)
         # Reads consume the *responder's* egress; account to the requester
         # domain anyway: it caused the traffic.

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
-from repro.units import GiB, KiB, US
+from repro.units import US, GiB, KiB
 
 
 @dataclass(frozen=True)

@@ -24,13 +24,11 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.errors import IntrospectionError
 from repro.ib.cq import WCOpcode
+from repro.units import US
 from repro.xen.introspect import xc_map_foreign_range
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.platform import Node
-    from repro.units import US
-
-from repro.units import US
 
 
 @dataclass
@@ -103,7 +101,18 @@ class IBMon:
         self.sample_cpu_ns = sample_cpu_ns
         self._vms: Dict[int, _MonitoredVM] = {}
         self.samples_taken = 0
+        self.samples_dropped = 0
         self._proc = None
+        #: Fault-injection hooks (:mod:`repro.faults`).  While
+        #: ``fault_drop_samples`` is set the periodic sampler skips its
+        #: pass entirely (CQ rings keep filling; counts are recovered
+        #: from the producer index after the outage).  While
+        #: ``fault_stale_reads`` is set :meth:`drain` silently returns
+        #: the previous estimate without touching the accumulators —
+        #: the consumer cannot tell the data is stale.
+        self.fault_drop_samples = False
+        self.fault_stale_reads = False
+        self._last_stats: Dict[int, IBMonStats] = {}
 
     # -- registration ----------------------------------------------------------
     def watch_domain(self, domid: int) -> None:
@@ -145,6 +154,9 @@ class IBMon:
         dom0 = self.node.hypervisor.dom0
         while True:
             yield self.env.timeout(self.sample_interval_ns)
+            if self.fault_drop_samples:
+                self.samples_dropped += 1
+                continue
             sample_start = self.env.now
             ncqs = sum(len(vm.cqs) for vm in self._vms.values())
             # Introspection costs dom0 CPU per mapped ring.
@@ -209,10 +221,27 @@ class IBMon:
         return stats.estimated_mtus
 
     def drain(self, domid: int) -> IBMonStats:
-        """Full estimate since the previous drain; resets accumulators."""
+        """Full estimate since the previous drain; resets accumulators.
+
+        Under an injected stale-read fault the previous drain's result
+        is returned unchanged and nothing is reset, so the backlog
+        surfaces in one large estimate once the fault clears.
+        """
         vm = self._vms.get(domid)
         if vm is None:
             raise IntrospectionError(f"domain {domid} is not being monitored")
+        if self.fault_stale_reads:
+            prev = self._last_stats.get(domid)
+            if prev is not None:
+                return prev
+            return IBMonStats(
+                domid=domid,
+                completions=0,
+                estimated_bytes=0,
+                estimated_mtus=0,
+                buffer_size_estimate=None,
+                qp_nums=set(),
+            )
         mtu = self.node.hca.params.mtu_bytes
         completions = 0
         est_bytes = 0
@@ -236,6 +265,7 @@ class IBMon:
             buffer_size_estimate=buffer_est,
             qp_nums=qp_nums,
         )
+        self._last_stats[domid] = stats
         tel = self.env.telemetry
         if tel.enabled:
             tel.event(

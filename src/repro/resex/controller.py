@@ -89,6 +89,12 @@ class ResExController:
         self.probes = ProbeSet(self.env, prefix="resex")
         self.intervals_run = 0
         self.epochs_run = 0
+        self.intervals_skipped = 0
+        #: Fault-injection hook (:mod:`repro.faults`): while paused the
+        #: management loop keeps its phase lock but does no work — no
+        #: sensor reads, no pricing, no cap changes, no replenishment.
+        #: Prices and caps stay frozen at their pre-outage values.
+        self.paused = False
         self._proc = None
 
     # -- registration -------------------------------------------------------
@@ -144,6 +150,36 @@ class ResExController:
         self.ibmon.start()
         self._proc = self.env.process(self._run(), name="resex-controller")
 
+    def pause(self) -> None:
+        """Simulate a controller outage: freeze all management state.
+
+        Caps and charge rates stay at their last-actuated values and
+        Reso accounts are not replenished until :meth:`resume`.
+        """
+        self.paused = True
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.event(
+                "resex", "outage", self.env.now, lane="controller",
+                policy=self.policy.name,
+            )
+
+    def resume(self) -> None:
+        """Restart after an outage.
+
+        The sensor backlog accumulated during the outage (IBMon
+        completions, agent latency reports, XenStat CPU time) drains on
+        the first interval back, so interference is re-detected within
+        one detector window of recovery.
+        """
+        self.paused = False
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.event(
+                "resex", "restart", self.env.now, lane="controller",
+                intervals_missed=self.intervals_skipped,
+            )
+
     def _run(self):
         dom0 = self.node.hypervisor.dom0
         p = self.reso_params
@@ -154,6 +190,12 @@ class ResExController:
             # regardless of how long the management work itself takes.
             next_tick = start + (interval_index + 1) * p.interval_ns
             yield self.env.timeout(max(next_tick - self.env.now, 0))
+            if self.paused:
+                # Controller outage: the interval (and any epoch
+                # boundary inside it) passes without management work.
+                interval_index += 1
+                self.intervals_skipped += 1
+                continue
             tick_start = self.env.now
             yield dom0.vcpu.compute(self.INTERVAL_CPU_NS * len(self.vms))
             interval_index += 1

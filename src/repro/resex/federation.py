@@ -61,6 +61,11 @@ class ResExFederation:
         self.propagation_ns = propagation_ns
         self._links: List[Tuple] = []
         self.syncs = 0
+        self.syncs_lost = 0
+        #: Fault-injection hook (:mod:`repro.faults`): while set, sync
+        #: rounds fire but their control messages are lost — followers
+        #: keep applying the last rate that arrived.
+        self.paused = False
         self._proc = None
 
     def link(
@@ -88,6 +93,10 @@ class ResExFederation:
     def _run(self):
         while True:
             yield self.env.timeout(self.sync_interval_ns)
+            if self.paused:
+                # Federation link down: this round's message is lost.
+                self.syncs_lost += 1
+                continue
             # One cross-host control message per sync round.
             yield self.env.timeout(self.propagation_ns)
             for p_ctl, p_domid, f_ctl, f_domid in self._links:

@@ -24,6 +24,7 @@ from repro.telemetry.bus import (
     COUNTER,
     CREDIT,
     FABRIC,
+    FAULTS,
     HCA,
     IBMON,
     INSTANT,
@@ -53,6 +54,7 @@ __all__ = [
     "COUNTER",
     "CREDIT",
     "FABRIC",
+    "FAULTS",
     "HCA",
     "IBMON",
     "INSTANT",

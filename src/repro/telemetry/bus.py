@@ -41,6 +41,7 @@ FABRIC = "fabric"
 IBMON = "ibmon"
 RESEX = "resex"
 BENCHEX = "benchex"
+FAULTS = "faults"
 
 #: How often (in processed events) the kernel emits queue-depth
 #: counters when tracing is on.  Keeps the kernel layer visible in

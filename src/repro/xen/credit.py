@@ -23,7 +23,7 @@ from repro.errors import SchedulerError
 from repro.sim.core import Environment
 from repro.sim.events import Event
 from repro.units import MS
-from repro.xen.vcpu import Compute, PollUntil, VCPU
+from repro.xen.vcpu import VCPU, Compute, PollUntil
 
 #: Default accounting period: the 10 ms slice from the paper.
 DEFAULT_PERIOD_NS = 10 * MS
@@ -74,7 +74,9 @@ class PCPUScheduler:
         return [
             v
             for v in self.vcpus
-            if v.has_work() and v.used_in_period < v.cap_budget_ns(self.period_ns)
+            if not v.frozen
+            and v.has_work()
+            and v.used_in_period < v.cap_budget_ns(self.period_ns)
         ]
 
     def _pick(self, eligible: List[VCPU]) -> VCPU:

@@ -120,6 +120,41 @@ class Hypervisor:
         del self.domains[domid]
 
     # -- scheduling controls -------------------------------------------------
+    def pause_domain(self, domid: int) -> None:
+        """Freeze every VCPU of a domain (the ``xl pause`` analog).
+
+        A frozen VCPU is never scheduled; queued and newly-submitted
+        work waits.  I/O already pushed to the HCA still completes —
+        the guest just cannot observe the completions — exactly the
+        VMM-bypass property ResEx's CPU-cap actuator relies on.
+        """
+        domain = self.domain(domid)
+        if domain.is_privileged:
+            raise HypervisorError("cannot pause dom0")
+        for vcpu in domain.vcpus:
+            vcpu.frozen = True
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.event(
+                "credit", "domain_paused", self.env.now,
+                lane=f"dom{domid}", domid=domid,
+            )
+
+    def unpause_domain(self, domid: int) -> None:
+        """Thaw a paused domain and reschedule its pending work."""
+        domain = self.domain(domid)
+        for vcpu in domain.vcpus:
+            vcpu.frozen = False
+            if vcpu.scheduler is not None and vcpu.has_work():
+                vcpu._needs_vtime_clamp = True
+                vcpu.scheduler.notify_work()
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.event(
+                "credit", "domain_unpaused", self.env.now,
+                lane=f"dom{domid}", domid=domid,
+            )
+
     def set_cap(self, domid: int, cap_percent: int) -> None:
         """Set the CPU cap for every VCPU of a domain (ResEx's actuator)."""
         domain = self.domain(domid)

@@ -17,8 +17,8 @@ Two kinds of work exist:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Deque, Optional
 from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
 
 from repro.errors import SchedulerError
 from repro.sim.events import Event
@@ -98,6 +98,11 @@ class VCPU:
         #: Set when the work queue goes empty->nonempty; the scheduler
         #: clamps vtime on wake so an idle VCPU cannot hoard credit.
         self._needs_vtime_clamp: bool = False
+        #: Fault-injection hook (:mod:`repro.faults`): a frozen VCPU is
+        #: never eligible to run, regardless of queued work — the
+        #: behavioural analog of ``xl pause``.  Work keeps queueing and
+        #: resumes when the freeze lifts.
+        self.frozen: bool = False
         self._work: Deque[WorkItem] = deque()
         self.scheduler: Optional["PCPUScheduler"] = None
 

@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.benchex import (
+    INTERFERER_2MB,
     BenchExConfig,
     BenchExPair,
-    INTERFERER_2MB,
     LatencyBreakdown,
     LatencyRecord,
     histogram_us,

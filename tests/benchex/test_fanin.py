@@ -5,7 +5,7 @@ import pytest
 from repro.benchex import BenchExConfig, BenchExFanIn
 from repro.errors import BenchmarkError, QPError
 from repro.experiments import Testbed
-from repro.units import KiB, SEC
+from repro.units import SEC, KiB
 
 
 def run_fanin(n_clients, sim_s=0.4, seed=3, **cfg_kwargs):

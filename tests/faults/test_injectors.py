@@ -1,0 +1,152 @@
+"""Layer-hook tests: each injector's effect on its component."""
+
+import pytest
+
+from repro.errors import FabricError, HypervisorError
+from repro.experiments import Testbed
+from repro.faults import Fault, LinkDegradation
+from repro.hw import FluidFabric
+from repro.sim import Environment
+from repro.units import MS, US, GiB, KiB
+from repro.xen.credit import PCPUScheduler
+from repro.xen.vcpu import VCPU
+
+GB_PER_S = float(GiB)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestLinkDegradation:
+    def test_validation(self, env):
+        fabric = FluidFabric(env)
+        fabric.add_link("l", GB_PER_S)
+        with pytest.raises(FabricError):
+            fabric.set_link_degradation("l", -0.1)
+        with pytest.raises(FabricError):
+            fabric.set_link_degradation("l", 1.1)
+
+    def test_degrade_halves_in_flight_rate(self, env):
+        fabric = FluidFabric(env)
+        link = fabric.add_link("l", GB_PER_S)
+        t = fabric.submit([link], 1024 * KiB, "t")
+        # Half the bytes transfer at full rate, then capacity halves:
+        # the remaining half takes twice as long -> 1.5x nominal total.
+        nominal_ns = 1024 * KiB / (GB_PER_S / 1e9)
+
+        def chaos(env):
+            yield env.timeout(int(nominal_ns / 2))
+            fabric.set_link_degradation("l", 0.5)
+
+        env.process(chaos(env))
+        env.run(until=t.done)
+        assert t.completed_at == pytest.approx(1.5 * nominal_ns, rel=0.01)
+
+    def test_flap_to_zero_stalls_and_resumes(self, env):
+        fabric = FluidFabric(env)
+        link = fabric.add_link("l", GB_PER_S)
+        t = fabric.submit([link], 64 * KiB, "t")
+        nominal_ns = 64 * KiB / (GB_PER_S / 1e9)
+        down_ns = 500_000
+
+        def chaos(env):
+            fabric.set_link_degradation("l", 0.0)
+            yield env.timeout(down_ns)
+            fabric.set_link_degradation("l", 1.0)
+
+        env.process(chaos(env))
+        env.run(until=t.done)
+        assert t.completed_at == pytest.approx(down_ns + nominal_ns, rel=0.01)
+
+    def test_capacity_change_while_degraded_keeps_factor(self, env):
+        fabric = FluidFabric(env)
+        link = fabric.add_link("l", GB_PER_S)
+        fabric.set_link_degradation("l", 0.5)
+        assert link.capacity_bps == pytest.approx(GB_PER_S / 2)
+        # An administrative capacity change applies under the factor...
+        fabric.set_link_capacity("l", 2 * GB_PER_S)
+        assert link.capacity_bps == pytest.approx(GB_PER_S)
+        # ...and healing restores the new nominal capacity.
+        fabric.set_link_degradation("l", 1.0)
+        assert link.capacity_bps == pytest.approx(2 * GB_PER_S)
+
+    def test_injector_maps_severity_to_lost_fraction(self, env):
+        fabric = FluidFabric(env)
+        link = fabric.add_link("a.tx", GB_PER_S)
+        inj = LinkDegradation(fabric)
+        fault = Fault("link-degrade", "a.tx", 0, 100, severity=0.75)
+        inj.inject(fault)
+        assert link.capacity_bps == pytest.approx(GB_PER_S * 0.25)
+        inj.clear(fault)
+        assert link.capacity_bps == pytest.approx(GB_PER_S)
+
+
+class TestVCPUFreeze:
+    def test_frozen_vcpu_makes_no_progress(self, env):
+        """Work queued on a frozen VCPU is never dispatched.
+
+        (Freeze takes effect at dispatch boundaries: an already-running
+        slice completes, matching the scheduler's event granularity.)
+        """
+        sched = PCPUScheduler(env, 0)
+        vcpu = VCPU(env, 0)
+        sched.attach(vcpu)
+        vcpu.frozen = True
+        done = []
+
+        def app(env):
+            yield vcpu.compute(100 * US)
+            done.append(env.now)
+
+        env.process(app(env))
+        env.run(until=50 * MS)
+        assert not done  # still frozen: compute never dispatched
+
+    def test_thawed_vcpu_completes(self, env):
+        sched = PCPUScheduler(env, 0)
+        vcpu = VCPU(env, 0)
+        sched.attach(vcpu)
+        vcpu.frozen = True
+        done = []
+
+        def app(env):
+            yield vcpu.compute(100 * US)
+            done.append(env.now)
+
+        env.process(app(env))
+
+        def chaos(env):
+            yield env.timeout(20 * MS)
+            vcpu.frozen = False
+            vcpu.scheduler.notify_work()
+
+        env.process(chaos(env))
+        env.run(until=100 * MS)
+        assert len(done) == 1
+        assert 20 * MS <= done[0] <= 21 * MS  # right after the thaw
+
+    def test_hypervisor_pause_unpause(self):
+        bed = Testbed.paper_testbed(seed=1)
+        node = bed.node("server-host")
+        dom = node.create_guest("g")
+        hv = node.hypervisor
+        hv.pause_domain(dom.domid)
+        assert all(v.frozen for v in dom.vcpus)
+        hv.unpause_domain(dom.domid)
+        assert not any(v.frozen for v in dom.vcpus)
+
+    def test_dom0_pause_rejected(self):
+        bed = Testbed.paper_testbed(seed=1)
+        node = bed.node("server-host")
+        with pytest.raises(HypervisorError, match="dom0"):
+            node.hypervisor.pause_domain(0)
+
+
+class TestHCAHooks:
+    def test_fault_fields_default_clear(self):
+        bed = Testbed.paper_testbed(seed=1)
+        hca = bed.node("server-host").hca
+        assert hca.fault_doorbell_stall_ns == 0
+        assert hca.fault_cqe_delay_ns == 0

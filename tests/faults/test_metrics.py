@@ -1,0 +1,144 @@
+"""Resilience-metric tests on synthetic latency traces."""
+
+import json
+import math
+
+import pytest
+
+from repro.faults import (
+    Fault,
+    FaultCampaign,
+    ResilienceReport,
+    degradation_table,
+    fault_impacts,
+)
+from repro.units import MS
+
+#: 100 request cycles, one per ms; latency 100 us except cycles 50-59
+#: (started inside the 10 ms fault window) which take 300 us.
+FAULT = Fault("link-degrade", "a.tx", 50 * MS, 10 * MS, 0.5)
+CAMPAIGN = FaultCampaign.scripted([FAULT], name="synthetic")
+
+
+def synthetic_samples(spike_until=60):
+    samples = []
+    for k in range(100):
+        lat = 300.0 if 50 <= k < spike_until else 100.0
+        samples.append((k * MS, lat))
+    return samples
+
+
+class TestFaultImpacts:
+    def test_baseline_from_prefault_samples(self):
+        (impact,) = fault_impacts(synthetic_samples(), CAMPAIGN,
+                                  rolling_window=4)
+        assert impact.baseline_us == pytest.approx(100.0)
+
+    def test_window_means(self):
+        (impact,) = fault_impacts(synthetic_samples(), CAMPAIGN,
+                                  rolling_window=4)
+        assert impact.during_us == pytest.approx(300.0)
+        # After the fault: 40 clean samples at 100 us.
+        assert impact.after_us == pytest.approx(100.0)
+        assert impact.peak_us == pytest.approx(300.0)
+
+    def test_excursion_area(self):
+        """10 spiked samples, 200 us over baseline: 9 full 1 ms gaps
+        plus the 0.8 ms gap where the completion times re-converge."""
+        (impact,) = fault_impacts(synthetic_samples(), CAMPAIGN,
+                                  rolling_window=4)
+        assert impact.excursion_us_s == pytest.approx(
+            200.0 * (9 * 0.001 + 0.0008)
+        )
+
+    def test_recovery_time(self):
+        """The 4-sample trailing mean last violates +10% at cycle 62
+        (300,100,100,100)/4 = 150; recovery is cycle 63's completion."""
+        (impact,) = fault_impacts(synthetic_samples(), CAMPAIGN,
+                                  rolling_window=4)
+        assert impact.recovered
+        assert impact.recovery_ns == 63 * MS + 100_000
+        assert impact.ttr_ns == 13 * MS + 100_000
+
+    def test_never_recovers(self):
+        (impact,) = fault_impacts(synthetic_samples(spike_until=100),
+                                  CAMPAIGN, rolling_window=4)
+        assert not impact.recovered
+        assert impact.ttr_ns is None
+
+    def test_harmless_fault_recovers_instantly(self):
+        samples = [(k * MS, 100.0) for k in range(100)]
+        (impact,) = fault_impacts(samples, CAMPAIGN, rolling_window=4)
+        assert impact.recovery_ns == FAULT.start_ns
+        assert impact.ttr_ns == 0
+        assert impact.excursion_us_s == 0.0
+
+    def test_fault_beyond_samples(self):
+        late = FaultCampaign.scripted([Fault("k", "t", 500 * MS, 10 * MS)])
+        (impact,) = fault_impacts(synthetic_samples(), late)
+        assert math.isnan(impact.during_us)
+        assert impact.excursion_us_s == 0.0
+        assert not impact.recovered
+
+    def test_explicit_baseline_overrides(self):
+        (impact,) = fault_impacts(synthetic_samples(), CAMPAIGN,
+                                  rolling_window=4, baseline_us=300.0)
+        # Generous baseline: the spike never leaves the +10% band.
+        assert impact.baseline_us == 300.0
+        assert impact.ttr_ns == 0
+        assert impact.excursion_us_s == 0.0
+
+    def test_empty_campaign(self):
+        assert fault_impacts(synthetic_samples(),
+                             FaultCampaign.scripted([])) == []
+
+
+def make_report(spike_until=60, policy="ioshares"):
+    impacts = fault_impacts(synthetic_samples(spike_until), CAMPAIGN,
+                            rolling_window=4)
+    return ResilienceReport(
+        scenario="synthetic",
+        policy=policy,
+        campaign=CAMPAIGN.name,
+        seed=7,
+        sim_s=0.1,
+        baseline_us=impacts[0].baseline_us,
+        impacts=tuple(impacts),
+    )
+
+
+class TestResilienceReport:
+    def test_aggregates(self):
+        report = make_report()
+        assert report.recovered_all
+        assert report.worst_ttr_ms == pytest.approx(13.1)
+        assert report.total_excursion_us_s == pytest.approx(1.96)
+
+    def test_worst_ttr_none_when_unrecovered(self):
+        report = make_report(spike_until=100)
+        assert not report.recovered_all
+        assert report.worst_ttr_ms is None
+
+    def test_render_deterministic(self):
+        a, b = make_report().render(), make_report().render()
+        assert a == b
+        assert "Resilience report" in a and "ttr (ms)" in a
+
+    def test_to_dict_is_json_serializable(self):
+        doc = json.loads(json.dumps(make_report().to_dict()))
+        assert doc["policy"] == "ioshares"
+        assert len(doc["impacts"]) == 1
+        assert doc["impacts"][0]["kind"] == "link-degrade"
+
+    def test_degradation_table_sorted_and_stable(self):
+        reports = {
+            "static-ratio": make_report(spike_until=100, policy="static-ratio"),
+            "ioshares": make_report(policy="ioshares"),
+        }
+        table = degradation_table(reports)
+        assert table == degradation_table(reports)
+        lines = table.splitlines()
+        io_line = next(i for i, l in enumerate(lines) if "ioshares" in l)
+        st_line = next(i for i, l in enumerate(lines) if "static-ratio" in l)
+        assert io_line < st_line  # label-sorted rows
+        assert "NO" in lines[st_line]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError, HypervisorError
-from repro.hw import PAGE_SIZE, AddressSpace, Buffer, MachineMemory, PCPU, ReadOnlyView
+from repro.hw import PAGE_SIZE, PCPU, AddressSpace, Buffer, MachineMemory, ReadOnlyView
 from repro.units import KiB, MiB
 
 

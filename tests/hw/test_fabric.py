@@ -6,7 +6,7 @@ from repro.errors import FabricError
 from repro.hw import FluidFabric, PacketLink, maxmin_rates
 from repro.hw.fabric import Transfer
 from repro.sim import Environment
-from repro.units import GiB, KiB, MiB, SEC, US
+from repro.units import SEC, US, GiB, KiB, MiB
 
 GB_PER_S = float(GiB)  # 1 GiB/s link, the paper's effective IB rate
 

@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.hw import FluidFabric
 from repro.sim import Environment
-from repro.units import GiB, KiB, SEC
+from repro.units import SEC, GiB, KiB
 
 GB_PER_S = float(GiB)
 

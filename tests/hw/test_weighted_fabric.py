@@ -6,7 +6,7 @@ from repro.errors import FabricError
 from repro.hw import FluidFabric, maxmin_rates
 from repro.hw.fabric import Transfer
 from repro.sim import Environment
-from repro.units import GiB, KiB, SEC
+from repro.units import SEC, GiB, KiB
 
 GB_PER_S = float(GiB)
 

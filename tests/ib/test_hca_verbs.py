@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import QPError
 from repro.ib import Access, Opcode, QPState, WCOpcode, WCStatus
-from repro.units import KiB, MS, SEC, US
+from repro.units import MS, SEC, US, KiB
 
 GB_PER_S = float(1024**3)
 

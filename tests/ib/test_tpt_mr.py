@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ProtectionFault
 from repro.hw import AddressSpace, MachineMemory
 from repro.hw.memory import Buffer
-from repro.ib import Access, TPT
+from repro.ib import TPT, Access
 from repro.units import KiB, MiB
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigError, QPError
 from repro.experiments.platform import Testbed
-from repro.hw import Host, FluidFabric, path_between
+from repro.hw import FluidFabric, Host, path_between
 from repro.ib import Access
 from repro.sim import Environment
 from repro.units import KiB

@@ -6,7 +6,7 @@ from repro.benchex import BenchExConfig, BenchExPair, run_pairs
 from repro.errors import IntrospectionError
 from repro.experiments.platform import Testbed
 from repro.ibmon import IBMon
-from repro.units import KiB, MS
+from repro.units import MS, KiB
 
 
 def run_with_ibmon(cfg, n=120, sample_interval=250_000):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.benchex import BenchExConfig, BenchExPair, INTERFERER_2MB, run_pairs
+from repro.benchex import INTERFERER_2MB, BenchExConfig, BenchExPair, run_pairs
 from repro.errors import PricingError
 from repro.experiments.platform import Testbed
 from repro.resex import (

@@ -5,7 +5,7 @@ and the event-driven completion mode's interaction with ResEx."""
 import numpy as np
 import pytest
 
-from repro.benchex import BenchExConfig, BenchExPair, INTERFERER_2MB, run_pairs
+from repro.benchex import INTERFERER_2MB, BenchExConfig, BenchExPair, run_pairs
 from repro.errors import PricingError
 from repro.experiments import Testbed, run_scenario
 from repro.resex import FreeMarket, IOShares

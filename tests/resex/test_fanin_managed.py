@@ -1,7 +1,7 @@
 """Fan-in server under ResEx management (integration)."""
 
 
-from repro.benchex import BenchExConfig, BenchExFanIn, BenchExPair, INTERFERER_2MB
+from repro.benchex import INTERFERER_2MB, BenchExConfig, BenchExFanIn, BenchExPair
 from repro.experiments import Testbed
 from repro.resex import IOShares, LatencySLA, ResExController
 from repro.units import SEC

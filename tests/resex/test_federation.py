@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.benchex import BenchExConfig, BenchExPair, INTERFERER_2MB, run_pairs
+from repro.benchex import INTERFERER_2MB, BenchExConfig, BenchExPair, run_pairs
 from repro.errors import PricingError
 from repro.experiments import Testbed
 from repro.resex import (
@@ -83,6 +83,82 @@ class TestFederation:
         single = rep1.server.latencies_us().mean()
         fed = rep2.server.latencies_us().mean()
         assert fed < single + 1.0  # at least as good; usually better
+
+    def test_relay_delay(self):
+        """A primary rate change lands at the follower one sync round
+        plus one propagation delay later — never earlier."""
+        bed = Testbed.paper_testbed(seed=1)
+        s, c = bed.node("server-host"), bed.node("client-host")
+        dom_s = s.create_guest("a")
+        dom_c = c.create_guest("b")
+        ctl_s = ResExController(s, IOShares())
+        ctl_c = ResExController(c, Follower())
+        ctl_s.monitor(dom_s)
+        ctl_c.monitor(dom_c)
+        fed = ResExFederation(
+            bed.env, sync_interval_ns=1_000_000, propagation_ns=50_000
+        )
+        fed.link((ctl_s, dom_s.domid), (ctl_c, dom_c.domid))
+        fed.start()
+
+        ctl_s.vm_by_domid(dom_s.domid).charge_rate = 5.0
+        follower_vm = ctl_c.vm_by_domid(dom_c.domid)
+        # Just before the sync message arrives: still the default rate.
+        bed.env.run(until=1_000_000 + 49_999)
+        assert follower_vm.charge_rate == 1.0
+        # The moment the propagation delay elapses: rate applied.
+        bed.env.run(until=1_000_000 + 50_001)
+        assert follower_vm.charge_rate == 5.0
+        assert fed.syncs == 1
+
+    def test_chaos_federation_link_drop(self):
+        """While the federation link is down, rate changes do not cross
+        hosts; the follower keeps the stale price until recovery."""
+        from repro.faults import (
+            Fault,
+            FaultCampaign,
+            FaultEngine,
+            FederationOutage,
+        )
+
+        bed = Testbed.paper_testbed(seed=1)
+        s, c = bed.node("server-host"), bed.node("client-host")
+        dom_s = s.create_guest("a")
+        dom_c = c.create_guest("b")
+        ctl_s = ResExController(s, IOShares())
+        ctl_c = ResExController(c, Follower())
+        ctl_s.monitor(dom_s)
+        ctl_c.monitor(dom_c)
+        fed = ResExFederation(
+            bed.env, sync_interval_ns=1_000_000, propagation_ns=50_000
+        )
+        fed.link((ctl_s, dom_s.domid), (ctl_c, dom_c.domid))
+        fed.start()
+
+        # Link down from 1.5 ms to 6.0 ms (sync rounds fire at 1.00,
+        # 2.05, 3.05, ... ms — each healthy round adds one propagation
+        # delay to the cadence — so rounds 2.05 through 5.05 are lost).
+        campaign = FaultCampaign.scripted(
+            [Fault("federation-outage", "fed", 1_500_000, 4_500_000)],
+            name="fed-drop",
+        )
+        engine = FaultEngine(bed.env, campaign).register(FederationOutage(fed))
+        engine.start()
+
+        primary_vm = ctl_s.vm_by_domid(dom_s.domid)
+        follower_vm = ctl_c.vm_by_domid(dom_c.domid)
+        primary_vm.charge_rate = 3.0
+        bed.env.run(until=1_400_000)  # one healthy sync relays 3.0
+        assert follower_vm.charge_rate == 3.0
+
+        primary_vm.charge_rate = 9.0  # raised while the link is down
+        bed.env.run(until=5_500_000)
+        assert follower_vm.charge_rate == 3.0  # stale price held
+        assert fed.syncs_lost >= 3
+
+        bed.env.run(until=7_000_000)  # link healed: next sync relays
+        assert follower_vm.charge_rate == 9.0
+        assert engine.injected == 1 and engine.cleared == 1
 
     def test_link_validation(self):
         bed = Testbed.paper_testbed(seed=1)

@@ -6,8 +6,8 @@ import pytest
 from repro.errors import PricingError
 from repro.resex import (
     FreeMarket,
-    IOShares,
     InterferenceDetector,
+    IOShares,
     LatencySLA,
     NoOpPolicy,
     StaticRatio,

@@ -7,7 +7,7 @@ equal-I/O fairness property, generalized)."""
 
 import numpy as np
 
-from repro.benchex import BenchExConfig, BenchExPair, INTERFERER_2MB, run_pairs
+from repro.benchex import INTERFERER_2MB, BenchExConfig, BenchExPair, run_pairs
 from repro.experiments import Testbed
 from repro.resex import IOShares, LatencySLA, ResExController
 from repro.units import SEC

@@ -24,6 +24,15 @@ def small_bus() -> TelemetryBus:
     bus.span("fabric", "qp16", 200, 900, lane="a.tx+b.rx", bytes=65536, weight=1.0)
     bus.instant("resex", "pricing_decision", 1200, lane="dom1", domid=1, cap_pct=20)
     bus.span("benchex", "request", 100, 1150, lane="rep0", request_id=51)
+    bus.instant(
+        "faults",
+        "inject",
+        1300,
+        lane="link-degrade:a.tx",
+        kind="link-degrade",
+        target="a.tx",
+        severity=0.5,
+    )
     return bus
 
 
@@ -55,6 +64,7 @@ class TestChromeExport:
             "fabric",
             "resex",
             "benchex",
+            "faults",
         }
         thread_names = {
             e["args"]["name"] for e in meta if e["name"] == "thread_name"
@@ -69,17 +79,17 @@ class TestChromeExport:
 
     def test_write_returns_record_count(self, tmp_path):
         out = tmp_path / "t.json"
-        assert write_chrome_trace(out, small_bus()) == 6
+        assert write_chrome_trace(out, small_bus()) == 7
         json.loads(out.read_text())
 
 
 class TestCsvExport:
     def test_round_trip(self, tmp_path):
         out = tmp_path / "t.csv"
-        assert write_telemetry_csv(out, small_bus()) == 6
+        assert write_telemetry_csv(out, small_bus()) == 7
         with out.open() as fh:
             rows = list(csv.DictReader(fh))
-        assert len(rows) == 6
+        assert len(rows) == 7
         assert rows[0]["kind"] == "counter"
         assert rows[0]["value"] == "3.0"
         span = rows[1]

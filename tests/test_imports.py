@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.ibmon",
     "repro.resex",
     "repro.benchex",
+    "repro.faults",
     "repro.finance",
     "repro.workloads",
     "repro.experiments",

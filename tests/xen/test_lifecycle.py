@@ -5,7 +5,7 @@ import pytest
 from repro.errors import HypervisorError
 from repro.experiments import Testbed
 from repro.ib import Access, QPState, WCStatus, connect
-from repro.units import KiB, MS
+from repro.units import MS, KiB
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import HypervisorError
 from repro.experiments.platform import Testbed
 from repro.ib import Access
-from repro.units import KiB, US
+from repro.units import US, KiB
 from repro.xen import IBBackend, IBFrontend
 
 
