@@ -1,0 +1,46 @@
+"""CI perf smoke: scaled-down fast-path workloads under pytest-benchmark.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q --benchmark-only \
+        --benchmark-json=bench.json
+    python tools/check_perf.py bench.json benchmarks/perf/baseline.json
+
+The workloads are the ``repro bench`` suite (see :mod:`repro.bench`)
+shrunk so the whole smoke finishes in well under a minute; the
+comparison against the committed baseline is done by
+``tools/check_perf.py``, which normalizes for host speed with a
+calibration loop and fails on >25% normalized regression.  Absolute
+times in ``baseline.json`` are *not* meaningful across hosts — only
+the calibration-normalized ratio is.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro import bench
+
+#: name -> (callable, pedantic rounds).  Sizes chosen so each workload
+#: runs a few hundred ms: long enough to dominate timer noise, short
+#: enough for a smoke job.
+SMOKE_WORKLOADS = {
+    "headline_managed": (functools.partial(bench.headline_managed, sim_s=0.1), 2),
+    "chaos_linkflap": (functools.partial(bench.chaos_linkflap, sim_s=0.5), 2),
+    "kernel_timeout_ping": (
+        functools.partial(bench.kernel_timeout_ping, n=100_000),
+        3,
+    ),
+    "fabric_churn": (functools.partial(bench.fabric_churn, n=800), 2),
+    "telemetry_emit": (functools.partial(bench.telemetry_emit, n=100_000), 3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SMOKE_WORKLOADS))
+def test_perf_smoke(benchmark, name):
+    fn, rounds = SMOKE_WORKLOADS[name]
+    meta = benchmark.pedantic(fn, rounds=rounds, iterations=1, warmup_rounds=0)
+    # Sanity: the workload actually did its work (deterministic sims).
+    assert meta, f"workload {name} returned no metadata"

@@ -21,6 +21,12 @@ ArrayLike = Union[float, np.ndarray]
 
 
 def _validate(S: ArrayLike, K: ArrayLike, sigma: ArrayLike, T: ArrayLike) -> None:
+    try:
+        # Scalar fast path: plain comparisons, no asarray/np.any round trip.
+        if S > 0 and K > 0 and sigma > 0 and T > 0:
+            return
+    except (TypeError, ValueError):
+        pass  # array operand -> ambiguous truth value; use vector checks
     if np.any(np.asarray(S) <= 0):
         raise FinanceError("spot price must be positive")
     if np.any(np.asarray(K) <= 0):
@@ -73,6 +79,34 @@ def put_price(
     """European put value."""
     d1, d2 = d1_d2(S, K, r, sigma, T, q)
     return K * np.exp(-r * T) * ndtr(-d2) - S * np.exp(-q * T) * ndtr(-d1)
+
+
+def price_call_put_delta(
+    S: ArrayLike,
+    K: ArrayLike,
+    r: ArrayLike,
+    sigma: ArrayLike,
+    T: ArrayLike,
+    q: ArrayLike = 0.0,
+):
+    """Call value, put value, and call delta in one pass.
+
+    Float-identical to calling :func:`call_price`, :func:`put_price`
+    and :func:`delta` separately — every product keeps the same
+    left-to-right association, only the shared ``d1``/``d2``/discount
+    subexpressions are computed once instead of three times.
+    """
+    d1, d2 = d1_d2(S, K, r, sigma, T, q)
+    nd1 = ndtr(d1)
+    nd2 = ndtr(d2)
+    disc_q = np.exp(-q * T)
+    disc_r = np.exp(-r * T)
+    S_disc = S * disc_q
+    K_disc = K * disc_r
+    call = S_disc * nd1 - K_disc * nd2
+    put = K_disc * ndtr(-d2) - S_disc * ndtr(-d1)
+    call_delta = disc_q * nd1
+    return call, put, call_delta
 
 
 def _pdf(x: ArrayLike) -> ArrayLike:

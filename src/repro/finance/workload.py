@@ -16,7 +16,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import FinanceError
-from repro.finance.black_scholes import call_price, delta, put_price
+from repro.finance.black_scholes import price_call_put_delta
 
 #: Simulated CPU cost of pricing one option (Black-Scholes + one Greek),
 #: about what a tuned C implementation needs on the testbed's 1.86 GHz
@@ -62,9 +62,9 @@ def process_request(req: PricingRequest, rng: np.random.Generator) -> Tuple[Pric
     strikes = req.strike * (1.0 + 0.05 * (rng.random(n) - 0.5))
     spots = np.clip(spots, 1e-6, None)
     strikes = np.clip(strikes, 1e-6, None)
-    calls = call_price(spots, strikes, req.rate, req.sigma, req.expiry_years)
-    puts = put_price(spots, strikes, req.rate, req.sigma, req.expiry_years)
-    deltas = delta(spots, strikes, req.rate, req.sigma, req.expiry_years)
+    calls, puts, deltas = price_call_put_delta(
+        spots, strikes, req.rate, req.sigma, req.expiry_years
+    )
     result = PricingResult(
         request_id=req.request_id,
         mean_call=float(np.mean(calls)),

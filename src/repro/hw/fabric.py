@@ -27,6 +27,13 @@ from repro.units import SEC, KiB
 #: Residual byte count below which a fluid transfer counts as finished.
 _COMPLETION_EPS = 1e-6
 
+#: Active-set size above which the solver memo is bypassed.  The memo
+#: key is an O(transfers) tuple; for the small recurring subproblems of
+#: scenario traffic hits dominate and the key is cheap, but a huge
+#: active set almost never recurs exactly, so memoizing it would pay
+#: O(n) key construction and hashing per event for a ~0% hit rate.
+_MEMO_MAX_TRANSFERS = 24
+
 
 class NetLink:
     """One unidirectional link (or link direction) with fixed capacity."""
@@ -79,6 +86,7 @@ class Transfer:
     __slots__ = (
         "transfer_id",
         "path",
+        "path_names",
         "nbytes",
         "remaining",
         "rate",
@@ -101,6 +109,8 @@ class Transfer:
     ) -> None:
         self.transfer_id = transfer_id
         self.path = path
+        #: Path as link names, precomputed for the solver memo key.
+        self.path_names = tuple(link.name for link in path)
         self.nbytes = nbytes
         self.remaining = float(nbytes)
         self.rate = 0.0  # bytes per ns, set by reallocation
@@ -127,8 +137,9 @@ def maxmin_rates(
     Every transfer gets the largest rate proportional to its weight such
     that no link is oversubscribed and no transfer can gain rate without
     another losing an already-smaller normalized (rate/weight) share.
-    With unit weights this is classic max-min.  Deterministic: ties
-    broken by link name.
+    With unit weights this is classic max-min.  Fully deterministic:
+    all iteration follows submission order (no set-ordered float sums),
+    and ties are broken by link name.
     """
     rates: Dict[Transfer, float] = {}
     active = list(transfers)
@@ -138,22 +149,35 @@ def maxmin_rates(
         if t.weight <= 0:
             raise FabricError(f"transfer weight must be > 0, got {t.weight}")
 
+    # Per-link membership lists in submission order: turns the inner
+    # weight-sum from an O(links x transfers) path-membership scan into
+    # a walk of exactly the transfers on that link.
+    link_order: List[NetLink] = []
+    members: Dict[NetLink, List[Transfer]] = {}
     cap_left: Dict[NetLink, float] = {}
     for t in active:
         for link in t.path:
-            cap_left.setdefault(link, capacity_of(link))
+            lst = members.get(link)
+            if lst is None:
+                members[link] = lst = []
+                cap_left[link] = capacity_of(link)
+                link_order.append(link)
+            lst.append(t)
 
-    unfrozen = set(active)
+    unfrozen = dict.fromkeys(active)  # insertion-ordered set
     while unfrozen:
         # Normalized share (rate per weight unit) each link could still
         # give its unfrozen transfers.
         best_link: Optional[NetLink] = None
         best_share = math.inf
-        for link, cap in cap_left.items():
-            weight_sum = sum(t.weight for t in unfrozen if link in t.path)
+        for link in link_order:
+            weight_sum = 0.0
+            for t in members[link]:
+                if t in unfrozen:
+                    weight_sum += t.weight
             if weight_sum == 0:
                 continue
-            share = max(cap, 0.0) / weight_sum
+            share = max(cap_left[link], 0.0) / weight_sum
             if share < best_share or (
                 share == best_share
                 and best_link is not None
@@ -165,12 +189,13 @@ def maxmin_rates(
             # No links constrain the remaining transfers (cannot happen
             # for non-empty paths, but guard against it).
             raise FabricError("max-min: transfers with no constraining link")
-        frozen_now = [t for t in unfrozen if best_link in t.path]
-        for t in frozen_now:
-            rates[t] = best_share * t.weight
-            unfrozen.discard(t)
-            for link in t.path:
-                cap_left[link] = cap_left[link] - rates[t]
+        for t in members[best_link]:
+            if t in unfrozen:
+                rate = best_share * t.weight
+                rates[t] = rate
+                del unfrozen[t]
+                for link in t.path:
+                    cap_left[link] = cap_left[link] - rate
     return rates
 
 
@@ -186,6 +211,10 @@ class FluidFabric:
         self._timer_generation = 0
         #: Completed-transfer log (id, nbytes, duration_ns, flow_label).
         self.completions: List[Tuple[int, int, int, str]] = []
+        #: Memoized solver results: normalized subproblem -> rate tuple.
+        #: Scenario traffic revisits a handful of active-set shapes
+        #: thousands of times, so hits dominate after warmup.
+        self._solve_cache: Dict[tuple, Tuple[float, ...]] = {}
 
     # -- topology -----------------------------------------------------------
     def add_link(self, name: str, capacity_bytes_per_sec: float) -> NetLink:
@@ -220,7 +249,7 @@ class FluidFabric:
         self._advance()
         link.nominal_bps = float(capacity_bytes_per_sec)
         link.capacity_bps = link.nominal_bps * link.degraded_factor
-        self._reallocate()
+        self._reallocate((link,))
         self._schedule_next()
 
     def set_link_degradation(self, name: str, available_factor: float) -> None:
@@ -242,7 +271,7 @@ class FluidFabric:
         self._advance()
         link.degraded_factor = float(available_factor)
         link.capacity_bps = link.nominal_bps * link.degraded_factor
-        self._reallocate()
+        self._reallocate((link,))
         self._schedule_next()
 
     def submit(
@@ -283,7 +312,7 @@ class FluidFabric:
 
         self._advance()
         self._active.append(transfer)
-        self._reallocate()
+        self._reallocate(transfer.path)
         self._schedule_next()
         return transfer
 
@@ -320,12 +349,99 @@ class FluidFabric:
                     link._util_integral += (rate / link.capacity_bytes_per_ns) * dt
         self._last_advance = now
 
-    def _reallocate(self) -> None:
-        rates = maxmin_rates(
-            self._active, lambda link: link.capacity_bytes_per_ns
-        )
-        for t in self._active:
-            t.rate = rates[t]
+    def _solve(self, transfers: List[Transfer]) -> Tuple[float, ...]:
+        """Max-min rates for ``transfers``, memoized.
+
+        The key is the exact normalized subproblem — ordered
+        ``(path_names, weight)`` per transfer plus the current capacity
+        of every involved link — so a cache hit returns the very floats
+        a fresh solve would produce and byte-identity is preserved.
+        """
+        if not transfers:
+            return ()
+        if len(transfers) > _MEMO_MAX_TRANSFERS:
+            # Too big to recur: solve directly, skip the memo entirely.
+            rates = maxmin_rates(
+                transfers, lambda link: link.capacity_bytes_per_ns
+            )
+            return tuple(rates[t] for t in transfers)
+        tkey = []
+        seen = set()
+        lkey = []
+        for t in transfers:
+            tkey.append((t.path_names, t.weight))
+            for link in t.path:
+                name = link.name
+                if name not in seen:
+                    seen.add(name)
+                    lkey.append((name, link.capacity_bps))
+        key = (tuple(tkey), tuple(lkey))
+        cached = self._solve_cache.get(key)
+        if cached is None:
+            rates = maxmin_rates(
+                transfers, lambda link: link.capacity_bytes_per_ns
+            )
+            cached = tuple(rates[t] for t in transfers)
+            if len(self._solve_cache) >= 4096:
+                self._solve_cache.clear()  # unbounded topologies: stay small
+            self._solve_cache[key] = cached
+        return cached
+
+    def _reallocate(
+        self, touched_links: Optional[Sequence[NetLink]] = None
+    ) -> None:
+        """Recompute fair rates after a change.
+
+        With ``touched_links`` given (a flow joined/left or a capacity
+        changed there), only the connected component of transfers
+        reachable from those links through shared links is re-solved.
+        Progressive filling decomposes exactly over components — their
+        capacity and weight arithmetic never interacts — so the
+        restricted solve yields bit-identical rates to a global one,
+        and untouched components keep their current rates.
+        """
+        active = self._active
+        if not active:
+            return
+        if touched_links is not None and len(active) > 1:
+            # One adjacency pass, then a BFS over links.  The BFS bails
+            # out to the global solve as soon as the growing linkset
+            # provably covers every involved link — the common case for
+            # hot shared topologies, where any per-transfer scan beyond
+            # the adjacency build would be pure overhead.
+            by_link: Dict[NetLink, List[int]] = {}
+            for idx, t in enumerate(active):
+                for link in t.path:
+                    lst = by_link.get(link)
+                    if lst is None:
+                        by_link[link] = lst = []
+                    lst.append(idx)
+            involved = len(by_link)
+            linkset = {
+                link for link in touched_links if link in by_link
+            }
+            if len(linkset) < involved:
+                frontier = list(linkset)
+                affected_idx: set = set()
+                while frontier and len(linkset) < involved:
+                    link = frontier.pop()
+                    for idx in by_link[link]:
+                        if idx not in affected_idx:
+                            affected_idx.add(idx)
+                            for l2 in active[idx].path:
+                                if l2 not in linkset:
+                                    linkset.add(l2)
+                                    frontier.append(l2)
+                if len(linkset) < involved:
+                    # Genuinely smaller component: indices ascend in
+                    # submission order, matching the global iteration
+                    # order, so the restricted solve is bit-identical.
+                    affected = [active[i] for i in sorted(affected_idx)]
+                    for t, rate in zip(affected, self._solve(affected)):
+                        t.rate = rate
+                    return
+        for t, rate in zip(active, self._solve(active)):
+            t.rate = rate
 
     def _schedule_next(self) -> None:
         self._timer_generation += 1
@@ -355,6 +471,7 @@ class FluidFabric:
         self._advance()
         finished = [t for t in self._active if t.remaining <= _COMPLETION_EPS]
         if finished:
+            touched: List[NetLink] = []
             for t in finished:
                 self._active.remove(t)
                 t.completed_at = self.env.now
@@ -366,8 +483,9 @@ class FluidFabric:
                         t.flow_label,
                     )
                 )
+                touched.extend(t.path)
                 self._emit_flow(t)
-            self._reallocate()
+            self._reallocate(touched)
             for t in finished:
                 t.done.succeed(t)
         self._schedule_next()

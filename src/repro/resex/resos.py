@@ -15,7 +15,7 @@ Accounts replenish at every epoch; leftovers are discarded.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import PricingError
@@ -34,6 +34,10 @@ class ResoParams:
     #: Resos charged per MTU sent (base rate).
     io_resos_per_mtu: float = 1.0
 
+    #: Derived: epoch_ns // interval_ns, precomputed because controllers
+    #: and monitors read it on every accounting tick.
+    intervals_per_epoch: int = field(init=False, repr=False, compare=False, default=0)
+
     def __post_init__(self) -> None:
         if self.interval_ns <= 0:
             raise PricingError("interval must be positive")
@@ -41,10 +45,10 @@ class ResoParams:
             raise PricingError("epoch must be at least one interval")
         if self.epoch_ns % self.interval_ns != 0:
             raise PricingError("epoch must be a whole number of intervals")
-
-    @property
-    def intervals_per_epoch(self) -> int:
-        return self.epoch_ns // self.interval_ns
+        # Frozen dataclass: derived fields are installed via object.__setattr__.
+        object.__setattr__(
+            self, "intervals_per_epoch", self.epoch_ns // self.interval_ns
+        )
 
     def cpu_resos_per_epoch(self, ncpus: int = 1) -> float:
         """Supply side: Resos representing full use of ``ncpus`` CPUs."""
@@ -96,10 +100,14 @@ class ResoAccount:
 
     def set_allocation(self, allocation: float) -> None:
         """Re-provision (e.g. priority change); takes effect immediately
-        for the fraction computation and fully at the next replenish."""
+        for the fraction computation and fully at the next replenish.
+        Shrinking below the current balance claws back the excess at
+        once, so ``fraction_remaining`` stays within [0, 1]."""
         if allocation <= 0:
             raise PricingError(f"allocation must be positive, got {allocation}")
         self.allocation = float(allocation)
+        if self.balance > self.allocation:
+            self.balance = self.allocation
 
     def __repr__(self) -> str:
         return (

@@ -107,7 +107,13 @@ class Environment:
         return self._queue[0][0]
 
     def step(self) -> None:
-        """Process the next event; raises SimulationError if none is left."""
+        """Process the next event; raises SimulationError if none is left.
+
+        Single-step API for tests and debuggers.  :meth:`run` does not
+        call this — it drives an inlined copy of the same dispatch so
+        the per-event cost stays minimal — but both bodies must stay
+        semantically identical.
+        """
         try:
             when, _prio, _seq, event = heapq.heappop(self._queue)
         except IndexError:
@@ -121,7 +127,8 @@ class Environment:
         event.callbacks = None  # mark processed
         if callbacks:
             for callback in callbacks:
-                callback(event)
+                if callback is not None:  # skip tombstoned waiters
+                    callback(event)
         self._events_processed += 1
         tel = self.telemetry
         if tel.enabled:
@@ -129,7 +136,7 @@ class Environment:
                 self._now, self._events_processed, len(self._queue), event
             )
 
-        if not event._ok and not getattr(event, "_defused", False):
+        if not event._ok and not event._defused:
             exc = event._value
             if isinstance(exc, BaseException):
                 raise exc
@@ -169,9 +176,37 @@ class Environment:
             heapq.heappush(self._queue, (at, NORMAL + 1, self._seq, stop_event))
             stop_event.callbacks = [_stop_callback]  # type: ignore[list-item]
 
+        # The dispatch loop below is :meth:`step` inlined with local
+        # bindings — the kernel's hottest lines.  Telemetry is re-read
+        # per iteration (a bus may be installed on the environment at
+        # any point before its first event fires), but the disabled-bus
+        # path costs only the attribute load and branch, which is the
+        # "null bus is free" contract the telemetry layer promises.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _prio, _seq, event = heappop(queue)
+                self._now = when
+
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                if callbacks:
+                    for callback in callbacks:
+                        if callback is not None:  # skip tombstoned waiters
+                            callback(event)
+                self._events_processed += 1
+                tel = self.telemetry
+                if tel.enabled:
+                    tel.kernel_tick(
+                        when, self._events_processed, len(queue), event
+                    )
+
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise SimulationError(repr(exc))  # pragma: no cover
         except StopSimulation as stop:
             return stop.value
 

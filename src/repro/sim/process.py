@@ -21,7 +21,7 @@ class Process(Event):
     returns (value = return value) or raises (failure).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_target_slot", "_resume_cb", "name")
 
     def __init__(
         self,
@@ -35,6 +35,13 @@ class Process(Event):
         self._generator = generator
         #: The event this process is currently waiting on (None when active).
         self._target: Optional[Event] = None
+        #: Index of our callback in the target's callback list, so an
+        #: interrupt can tombstone it in O(1) instead of scanning.
+        self._target_slot: int = -1
+        #: The bound resume callback, created once.  Waiting on an event
+        #: appends this exact object, which makes the tombstone identity
+        #: check valid and avoids allocating a bound method per wait.
+        self._resume_cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         Initialize(env, self)
 
@@ -63,7 +70,7 @@ class Process(Event):
         interrupt_event = Event(self.env)
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
-        interrupt_event.callbacks = [self._resume]
+        interrupt_event.callbacks = [self._resume_cb]
         self.env.schedule(interrupt_event, priority=URGENT)
 
     def _resume(self, event: Event) -> None:
@@ -72,34 +79,34 @@ class Process(Event):
         env._active_process = self
         tel = env.telemetry
         if tel.kernel_dispatch:
-            tel.kernel_resume(env.now, self.name)
+            tel.kernel_resume(env._now, self.name)
 
         # Detach from the previous target if we were interrupted while
-        # waiting on a still-pending event.
-        if (
-            self._target is not None
-            and self._target is not event
-            and self._target.callbacks is not None
-        ):
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        # waiting on a still-pending event: tombstone our callback slot
+        # (the dispatch loop skips None entries).
+        target = self._target
+        if target is not None and target is not event:
+            cbs = target.callbacks
+            if cbs is not None:
+                slot = self._target_slot
+                if 0 <= slot < len(cbs) and cbs[slot] is self._resume_cb:
+                    cbs[slot] = None
         self._target = None
 
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # The event's exception is thrown into the generator;
                     # mark it defused so the kernel does not re-raise it.
                     event._defused = True
                     exc = event._value
                     if isinstance(exc, BaseException):
-                        next_event = self._generator.throw(exc)
+                        next_event = generator.throw(exc)
                     else:  # pragma: no cover - defensive
-                        next_event = self._generator.throw(
+                        next_event = generator.throw(
                             SimulationError(repr(exc))
                         )
             except StopIteration as stop:
@@ -132,9 +139,11 @@ class Process(Event):
                 )
                 continue
 
-            if next_event.callbacks is not None:
+            cbs = next_event.callbacks
+            if cbs is not None:
                 # Pending or triggered-but-unprocessed: wait for it.
-                next_event.callbacks.append(self._resume)
+                self._target_slot = len(cbs)
+                cbs.append(self._resume_cb)
                 self._target = next_event
                 break
 

@@ -88,11 +88,22 @@ class TelemetryBus:
         resume — the full firehose.  Off by default: it multiplies the
         record count by the event count and is only useful for
         microscopic kernel debugging.
+    ring_capacity:
+        ``None`` (default) keeps every record in an append-only list.
+        A positive value switches to a preallocated ring of that many
+        slots holding only the most recent records: bounded memory and
+        no list growth for arbitrarily long traced runs (flight-recorder
+        mode).  The emit path is selected once at construction so the
+        per-record cost is a single bound-callable invocation either way.
     """
 
     __slots__ = (
         "enabled",
-        "records",
+        "_records",
+        "_emit",
+        "_ring_capacity",
+        "_ring_cursor",
+        "_ring_full",
         "kernel_sample_every",
         "kernel_dispatch",
     )
@@ -101,11 +112,48 @@ class TelemetryBus:
         self,
         kernel_sample_every: int = DEFAULT_KERNEL_SAMPLE_EVERY,
         kernel_dispatch: bool = False,
+        ring_capacity: Optional[int] = None,
     ) -> None:
         self.enabled: bool = True
-        self.records: List[TraceRecord] = []
         self.kernel_sample_every = int(kernel_sample_every)
         self.kernel_dispatch = bool(kernel_dispatch)
+        self._ring_cursor = 0
+        self._ring_full = False
+        if ring_capacity is None:
+            self._ring_capacity = 0
+            self._records: List[Optional[TraceRecord]] = []
+            self._emit = self._records.append
+        else:
+            if ring_capacity <= 0:
+                raise ValueError(
+                    f"ring_capacity must be positive, got {ring_capacity}"
+                )
+            self._ring_capacity = int(ring_capacity)
+            self._records = [None] * self._ring_capacity
+            self._emit = self._ring_append
+
+    def _ring_append(self, record: TraceRecord) -> None:
+        cursor = self._ring_cursor
+        self._records[cursor] = record
+        cursor += 1
+        if cursor == self._ring_capacity:
+            cursor = 0
+            self._ring_full = True
+        self._ring_cursor = cursor
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Recorded telemetry in emission order.
+
+        In ring mode this materializes the (up to ``ring_capacity``)
+        retained records, oldest first.
+        """
+        if not self._ring_capacity:
+            return self._records  # type: ignore[return-value]
+        if not self._ring_full:
+            return self._records[: self._ring_cursor]
+        cursor = self._ring_cursor
+        return self._records[cursor:] + self._records[:cursor]
 
     # -- emission -----------------------------------------------------------
     def span(
@@ -123,7 +171,7 @@ class TelemetryBus:
         cannot hold a context manager open across a scheduler yield),
         so nesting falls out of timestamp containment.
         """
-        self.records.append(
+        self._emit(
             TraceRecord(
                 SPAN,
                 cat,
@@ -145,7 +193,7 @@ class TelemetryBus:
         **args: Any,
     ) -> None:
         """Record a point event at ``ts_ns``."""
-        self.records.append(
+        self._emit(
             TraceRecord(
                 INSTANT,
                 cat,
@@ -171,7 +219,7 @@ class TelemetryBus:
         lane: Optional[str] = None,
     ) -> None:
         """Record a typed counter sample (rendered as a track)."""
-        self.records.append(
+        self._emit(
             TraceRecord(
                 COUNTER,
                 cat,
@@ -209,7 +257,9 @@ class TelemetryBus:
 
     # -- introspection ------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.records)
+        if not self._ring_capacity:
+            return len(self._records)
+        return self._ring_capacity if self._ring_full else self._ring_cursor
 
     def categories(self) -> List[str]:
         """Distinct categories, in first-emission order."""
@@ -228,7 +278,13 @@ class TelemetryBus:
         ]
 
     def clear(self) -> None:
-        self.records.clear()
+        if not self._ring_capacity:
+            self._records.clear()
+        else:
+            self._records = [None] * self._ring_capacity
+            self._emit = self._ring_append
+            self._ring_cursor = 0
+            self._ring_full = False
 
     def __repr__(self) -> str:
         return f"<TelemetryBus records={len(self.records)} enabled={self.enabled}>"

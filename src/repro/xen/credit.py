@@ -82,20 +82,36 @@ class PCPUScheduler:
     def _pick(self, eligible: List[VCPU]) -> VCPU:
         # Virtual-time fairness: clamp waking VCPUs so idleness earns no
         # credit, then run the smallest virtual time (stable tie-break).
-        running_floor = min(
-            (v.vtime for v in eligible if not v._needs_vtime_clamp),
-            default=None,
-        )
+        # Manual scans instead of min(..., key=lambda ...): this runs
+        # once per scheduling decision and the lambda/tuple allocations
+        # showed up in scenario profiles.
+        running_floor: Optional[float] = None
+        for v in eligible:
+            if not v._needs_vtime_clamp and (
+                running_floor is None or v.vtime < running_floor
+            ):
+                running_floor = v.vtime
         for v in eligible:
             if v._needs_vtime_clamp:
-                if running_floor is not None:
-                    v.vtime = max(v.vtime, running_floor)
+                if running_floor is not None and v.vtime < running_floor:
+                    v.vtime = running_floor
                 v._needs_vtime_clamp = False
-        return min(eligible, key=lambda v: (v.vtime, v.vcpu_id))
+        best = eligible[0]
+        for v in eligible:
+            if v.vtime < best.vtime or (
+                v.vtime == best.vtime and v.vcpu_id < best.vcpu_id
+            ):
+                best = v
+        return best
 
     def _run(self):
         env = self.env
         lane = f"pcpu{self.pcpu_id}"
+        # self.vcpus is mutated in place by attach(), so the local alias
+        # sees late attachments; period/quantum are construction-fixed.
+        vcpus = self.vcpus
+        period_ns = self.period_ns
+        quantum_ns = self.quantum_ns
         while True:
             # --- new accounting period -------------------------------------
             tel = env.telemetry
@@ -105,17 +121,23 @@ class PCPUScheduler:
                     "accounting_period",
                     env.now,
                     lane=lane,
-                    runnable=sum(1 for v in self.vcpus if v.has_work()),
+                    runnable=sum(1 for v in vcpus if v.has_work()),
                 )
-            for v in self.vcpus:
+            for v in vcpus:
                 v.used_in_period = 0
-            period_end = env.now + self.period_ns
+            period_end = env.now + period_ns
 
-            while env.now < period_end:
-                eligible = self._eligible()
+            while env._now < period_end:
+                eligible = [
+                    v
+                    for v in vcpus
+                    if not v.frozen
+                    and v._work
+                    and v.used_in_period < v.cap_budget_ns(period_ns)
+                ]
                 if not eligible:
-                    if not any(v.has_work() for v in self.vcpus) and all(
-                        v.used_in_period == 0 for v in self.vcpus
+                    if not any(v._work for v in vcpus) and all(
+                        v.used_in_period == 0 for v in vcpus
                     ):
                         # Idle with a completely untouched period: sleep
                         # with no timer.  Re-phasing the period on wake is
@@ -125,7 +147,7 @@ class PCPUScheduler:
                         self._work_signal = Event(env)
                         yield self._work_signal
                         self._work_signal = None
-                        period_end = env.now + self.period_ns
+                        period_end = env.now + period_ns
                         continue
                     # Capped out, or idle mid-period: wait for work or the
                     # period boundary (budgets replenish only there).
@@ -137,8 +159,8 @@ class PCPUScheduler:
                     continue
 
                 vcpu = self._pick(eligible)
-                budget_left = vcpu.cap_budget_ns(self.period_ns) - vcpu.used_in_period
-                horizon = min(budget_left, period_end - env.now)
+                budget_left = vcpu.cap_budget_ns(period_ns) - vcpu.used_in_period
+                horizon = min(budget_left, period_end - env._now)
                 if horizon <= 0:
                     # Cap boundary rounding: skip to the next period edge.
                     yield env.timeout(period_end - env.now)
@@ -146,7 +168,7 @@ class PCPUScheduler:
                 # Preempt at quantum granularity only when there is actual
                 # competition; a lone VCPU runs to its budget/period edge.
                 if len(eligible) > 1:
-                    horizon = min(horizon, self.quantum_ns)
+                    horizon = min(horizon, quantum_ns)
                 slice_start = env.now
                 vcpu._running_since = slice_start
                 ran = yield from self._run_vcpu(vcpu, horizon)

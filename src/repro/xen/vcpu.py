@@ -84,6 +84,11 @@ class VCPU:
         self.vcpu_id = vcpu_id
         self.weight = weight
         self._cap_percent = 0
+        #: Memoized (period_ns -> budget_ns) pair; the scheduler asks for
+        #: the budget several times per scheduling decision with the same
+        #: period, so the division is done once per cap change instead.
+        self._budget_period_ns = -1
+        self._budget_ns = 0
         self.cap_percent = cap_percent  # validated by the setter
         self._cumulative_ns: int = 0
         #: Set while the scheduler is actively running this VCPU, so the
@@ -120,10 +125,14 @@ class VCPU:
                 "(a 0 cap would permanently stall the VCPU)"
             )
         self._cap_percent = value
+        self._budget_period_ns = -1  # invalidate the budget memo
 
     def cap_budget_ns(self, period_ns: int) -> int:
         """CPU time this VCPU may use per accounting period."""
-        return period_ns * self._cap_percent // 100
+        if period_ns != self._budget_period_ns:
+            self._budget_period_ns = period_ns
+            self._budget_ns = period_ns * self._cap_percent // 100
+        return self._budget_ns
 
     # -- accounting --------------------------------------------------------
     @property

@@ -1,0 +1,28 @@
+"""Shared test configuration: pinned Hypothesis profiles.
+
+Three profiles are registered:
+
+* ``thorough`` — 500 examples, derandomized (the pinned-seed profile the
+  property/differential fast-path fences run under in CI);
+* ``dev`` — 50 examples for quick local iteration;
+* ``default`` — Hypothesis defaults.
+
+Select with ``HYPOTHESIS_PROFILE=dev pytest ...``; the default is
+``thorough`` so the tier-1 suite always runs the full fence.
+Individual tests may still override ``max_examples`` downward for
+expensive simulation-backed properties.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile(
+    "thorough", max_examples=500, derandomize=True, deadline=None
+)
+settings.register_profile("dev", max_examples=50, derandomize=True, deadline=None)
+settings.register_profile("default", deadline=None)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "thorough"))

@@ -1,0 +1,168 @@
+"""Model-based property tests for the Reso currency (paper §V-C).
+
+These fence the account arithmetic the fast-path PRs are not allowed
+to change: an interpreter drives a :class:`ResoAccount` through random
+``deduct`` / ``replenish`` / ``set_allocation`` programs while a
+shadow model replays the exact same float operations.  The suite runs
+500 derandomized examples (see ``tests/conftest.py``) so any
+"optimization" that reassociates the arithmetic, reorders the clamp,
+or floors differently shows up as a counterexample, not as a silent
+drift in figure outputs.
+
+Invariants checked after every operation:
+
+* balances never go negative and never exceed the allocation;
+* ``fraction_remaining`` stays in [0, 1];
+* every requested Reso is conserved: it is either paid
+  (``total_deducted``) or recorded as ``unmet_demand``;
+* exhaustion is monotone within an epoch — once a VM runs dry it
+  stays dry until the next ``replenish``;
+* the account state equals the shadow model bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resex.resos import ResoAccount
+
+#: One program step: ("deduct", amount) | ("replenish",) |
+#: ("set_allocation", new_allocation).
+_amounts = st.floats(
+    min_value=0.0, max_value=2e6, allow_nan=False, allow_infinity=False
+)
+_allocations = st.floats(
+    min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+_ops = st.one_of(
+    st.tuples(st.just("deduct"), _amounts),
+    st.tuples(st.just("replenish")),
+    st.tuples(st.just("set_allocation"), _allocations),
+)
+
+
+class _ShadowAccount:
+    """Float-exact replay of the documented ResoAccount semantics."""
+
+    def __init__(self, allocation: float) -> None:
+        self.allocation = float(allocation)
+        self.balance = float(allocation)
+        self.total_deducted = 0.0
+        self.unmet_demand = 0.0
+        self.epochs_replenished = 0
+
+    def deduct(self, resos: float) -> None:
+        paid = min(resos, self.balance)
+        self.balance -= paid
+        self.total_deducted += paid
+        self.unmet_demand += resos - paid
+
+    def replenish(self) -> None:
+        self.balance = self.allocation
+        self.epochs_replenished += 1
+
+    def set_allocation(self, allocation: float) -> None:
+        self.allocation = float(allocation)
+        if self.balance > self.allocation:
+            self.balance = self.allocation
+
+
+@given(allocation=_allocations, program=st.lists(_ops, max_size=30))
+@settings(max_examples=500, derandomize=True, deadline=None)
+def test_account_program_invariants(allocation, program):
+    acct = ResoAccount(1, allocation)
+    model = _ShadowAccount(allocation)
+    exhausted_this_epoch = False
+
+    for op in program:
+        requested_before = acct.total_deducted + acct.unmet_demand
+        if op[0] == "deduct":
+            acct.deduct(op[1])
+            model.deduct(op[1])
+            # Conservation: the request is split into paid + unmet with
+            # nothing created or destroyed (up to one float rounding).
+            delta = (acct.total_deducted + acct.unmet_demand) - requested_before
+            assert math.isclose(delta, op[1], rel_tol=1e-12, abs_tol=1e-9)
+        elif op[0] == "replenish":
+            acct.replenish()
+            model.replenish()
+            exhausted_this_epoch = False
+            assert acct.balance == acct.allocation
+        else:
+            acct.set_allocation(op[1])
+            model.set_allocation(op[1])
+
+        # Bit-exact agreement with the shadow model.
+        assert acct.balance == model.balance
+        assert acct.allocation == model.allocation
+        assert acct.total_deducted == model.total_deducted
+        assert acct.unmet_demand == model.unmet_demand
+
+        # Range invariants.
+        assert acct.balance >= 0.0
+        assert acct.balance <= acct.allocation
+        assert 0.0 <= acct.fraction_remaining <= 1.0
+        assert acct.total_deducted >= 0.0
+        assert acct.unmet_demand >= 0.0
+
+        # Exhaustion is monotone between replenishes: deduct cannot add
+        # funds and set_allocation only claws back, so a dry account
+        # stays dry until the epoch boundary.
+        if exhausted_this_epoch:
+            assert acct.exhausted
+        exhausted_this_epoch = acct.exhausted
+
+
+@given(
+    allocation=_allocations,
+    charges=st.lists(_amounts, min_size=1, max_size=25),
+)
+@settings(max_examples=500, derandomize=True, deadline=None)
+def test_epoch_conservation_without_reprovisioning(allocation, charges):
+    """Within one epoch: spent + remaining == starting allocation, and
+    requested == paid + unmet (both up to float rounding)."""
+    acct = ResoAccount(1, allocation)
+    for c in charges:
+        acct.deduct(c)
+    assert math.isclose(
+        acct.total_deducted + acct.balance,
+        acct.allocation,
+        rel_tol=1e-12,
+        abs_tol=1e-9,
+    )
+    requested = math.fsum(charges)
+    assert math.isclose(
+        acct.total_deducted + acct.unmet_demand,
+        requested,
+        rel_tol=1e-9,
+        abs_tol=1e-6,
+    )
+    # Deducting strictly more than the allocation must exhaust exactly.
+    if requested > allocation * (1.0 + 1e-9):
+        assert acct.unmet_demand > 0.0 or acct.exhausted
+
+
+@given(
+    allocation=_allocations,
+    deducts=st.lists(_amounts, min_size=1, max_size=10),
+    new_allocation=_allocations,
+)
+@settings(max_examples=500, derandomize=True, deadline=None)
+def test_set_allocation_keeps_fraction_in_unit_interval(
+    allocation, deducts, new_allocation
+):
+    """Re-provisioning mid-epoch (priority change) can never push
+    ``fraction_remaining`` outside [0, 1] — shrinking claws back the
+    excess immediately, growing leaves the balance alone."""
+    acct = ResoAccount(1, allocation)
+    for d in deducts:
+        acct.deduct(d)
+    balance_before = acct.balance
+    acct.set_allocation(new_allocation)
+    assert 0.0 <= acct.fraction_remaining <= 1.0
+    assert acct.balance <= balance_before  # never mints Resos mid-epoch
+    acct.replenish()
+    assert acct.balance == new_allocation

@@ -1,0 +1,108 @@
+"""Flight-recorder (ring buffer) mode of the telemetry bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import TelemetryBus
+
+
+def _emit_instants(bus, n, start=0):
+    for i in range(n):
+        bus.instant("kernel", f"e{start + i}", start + i)
+
+
+class TestRingMode:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="ring_capacity"):
+            TelemetryBus(ring_capacity=0)
+        with pytest.raises(ValueError, match="ring_capacity"):
+            TelemetryBus(ring_capacity=-4)
+
+    def test_below_capacity_matches_list_mode(self):
+        ring = TelemetryBus(ring_capacity=16)
+        flat = TelemetryBus()
+        _emit_instants(ring, 10)
+        _emit_instants(flat, 10)
+        assert ring.records == flat.records
+        assert len(ring) == 10
+
+    def test_wrap_keeps_only_the_newest_records_in_order(self):
+        ring = TelemetryBus(ring_capacity=8)
+        flat = TelemetryBus()
+        _emit_instants(ring, 21)
+        _emit_instants(flat, 21)
+        assert len(ring) == 8
+        assert ring.records == flat.records[-8:]
+        # Oldest-first ordering survives the wrap point.
+        names = [r.name for r in ring.records]
+        assert names == [f"e{i}" for i in range(13, 21)]
+
+    def test_exact_capacity_boundary(self):
+        ring = TelemetryBus(ring_capacity=4)
+        _emit_instants(ring, 4)
+        assert len(ring) == 4
+        assert [r.name for r in ring.records] == ["e0", "e1", "e2", "e3"]
+        ring.instant("kernel", "e4", 4)
+        assert [r.name for r in ring.records] == ["e1", "e2", "e3", "e4"]
+
+    def test_all_record_kinds_flow_through_the_ring(self):
+        ring = TelemetryBus(ring_capacity=8)
+        ring.span("credit", "s", 0, 10, lane="pcpu0", x=1)
+        ring.instant("hca", "i", 5)
+        ring.counter("kernel", "queue_depth", 6, 3.0)
+        kinds = [r.kind for r in ring.records]
+        assert kinds == ["span", "instant", "counter"]
+        assert ring.select(kind="counter")[0].value == 3.0
+        assert ring.categories() == ["credit", "hca", "kernel"]
+
+    def test_clear_resets_and_keeps_recording(self):
+        ring = TelemetryBus(ring_capacity=4)
+        _emit_instants(ring, 9)
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.records == []
+        _emit_instants(ring, 2, start=100)
+        assert [r.name for r in ring.records] == ["e100", "e101"]
+
+    def test_list_mode_clear_keeps_recording(self):
+        flat = TelemetryBus()
+        _emit_instants(flat, 3)
+        flat.clear()
+        _emit_instants(flat, 2, start=50)
+        assert [r.name for r in flat.records] == ["e50", "e51"]
+
+    def test_records_property_is_a_snapshot_in_ring_mode(self):
+        ring = TelemetryBus(ring_capacity=4)
+        _emit_instants(ring, 6)
+        snapshot = ring.records
+        _emit_instants(ring, 2, start=10)
+        assert [r.name for r in snapshot] == ["e2", "e3", "e4", "e5"]
+
+
+class TestRingInSimulation:
+    def test_traced_run_with_ring_is_equivalent_and_bounded(self):
+        """A ring-buffered bus records the same *tail* of the record
+        stream a list bus does, without perturbing the simulation."""
+        from repro.sim import Environment
+
+        def traffic(env):
+            for i in range(64):
+                yield env.timeout(10)
+                env.telemetry.instant("benchex", f"req{i}", env.now)
+
+        flat_env = Environment()
+        flat_env.telemetry = TelemetryBus()
+        flat_env.process(traffic(flat_env))
+        flat_env.run()
+
+        ring_env = Environment()
+        ring_env.telemetry = TelemetryBus(ring_capacity=16)
+        ring_env.process(traffic(ring_env))
+        ring_env.run()
+
+        assert ring_env.now == flat_env.now
+        flat = [r for r in flat_env.telemetry.records if r.cat == "benchex"]
+        ring = [r for r in ring_env.telemetry.records if r.cat == "benchex"]
+        assert ring == flat[-len(ring):]
+        assert len(ring_env.telemetry) == 16

@@ -1,0 +1,97 @@
+"""Capture the golden-run fixtures that fence the simulator fast path.
+
+Any PR that touches the event loop, the fabric solver, the telemetry
+bus or the schedulers must leave these outputs *byte-identical*: the
+paper's headline claims depend on bit-for-bit deterministic runs, so
+"faster" is only acceptable when it is also "equivalent".
+
+Two fixtures are captured, both at fixed seeds:
+
+* ``trace_managed_s02_seed7.json`` — the Chrome trace of a fully
+  traced managed run (2 MB interferer + IOShares, 0.2 s, seed 7).
+  This pins the complete telemetry record stream of every layer,
+  including the kernel's events-processed/queue-depth counters, so any
+  change to event count, ordering or timing shows up as a byte diff.
+* ``chaos_fig9_linkflap_s1_seed11.json`` — the ResilienceReport of a
+  fig9 chaos run under the link-flap campaign (1.0 s, seed 11).  This
+  pins the fault-injection path end to end: campaign scheduling,
+  injector actuation, latency attribution and recovery metrics.
+
+Usage::
+
+    PYTHONPATH=src python tools/capture_golden.py          # regenerate
+    PYTHONPATH=src python -m pytest tests/test_golden_runs.py
+
+Only regenerate after an *intentional* behaviour change, and say so in
+the commit message; the paired test exists precisely to make silent
+regeneration impossible to miss in review.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+TRACE_NAME = "trace_managed_s02_seed7.json"
+CHAOS_NAME = "chaos_fig9_linkflap_s1_seed11.json"
+
+#: Axes of the traced golden run.
+TRACE_SIM_S = 0.2
+TRACE_SEED = 7
+
+#: Axes of the chaos golden run.
+CHAOS_SIM_S = 1.0
+CHAOS_SEED = 11
+CHAOS_CAMPAIGN = "link-flap"
+
+
+def golden_trace_bytes() -> str:
+    """The managed-scenario Chrome trace as canonical JSON text."""
+    from repro.analysis import to_chrome_trace_json
+    from repro.benchex import BenchExConfig
+    from repro.experiments import run_scenario
+    from repro.telemetry import TelemetryBus
+    from repro.units import MiB
+
+    bus = TelemetryBus()
+    run_scenario(
+        "golden-managed",
+        interferer=BenchExConfig(name="interferer", buffer_bytes=2 * MiB),
+        policy="ioshares",
+        sim_s=TRACE_SIM_S,
+        seed=TRACE_SEED,
+        telemetry=bus,
+    )
+    return to_chrome_trace_json(bus) + "\n"
+
+
+def golden_chaos_bytes() -> str:
+    """The fig9 link-flap ResilienceReport as canonical JSON text."""
+    from repro.experiments import run_chaos_scenario
+
+    chaos = run_chaos_scenario(
+        "fig9",
+        campaign=CHAOS_CAMPAIGN,
+        sim_s=CHAOS_SIM_S,
+        seed=CHAOS_SEED,
+    )
+    return json.dumps(chaos.report.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, produce in ((TRACE_NAME, golden_trace_bytes),
+                          (CHAOS_NAME, golden_chaos_bytes)):
+        path = GOLDEN_DIR / name
+        text = produce()
+        changed = not path.exists() or path.read_text() != text
+        path.write_text(text)
+        print(f"{'updated' if changed else 'unchanged'}: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

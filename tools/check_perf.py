@@ -1,0 +1,159 @@
+"""Compare a pytest-benchmark run against the committed perf baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q --benchmark-only \
+        --benchmark-json=bench.json
+    python tools/check_perf.py bench.json benchmarks/perf/baseline.json
+
+Raw benchmark times are meaningless across machines, so the baseline
+stores a *calibration* time alongside each benchmark: the seconds a
+fixed pure-Python loop took on the host that recorded the baseline.
+This script re-runs the same loop on the current host and scales every
+baseline time by ``current_calibration / baseline_calibration`` before
+comparing.  A benchmark fails the check when its best time exceeds the
+scaled baseline by more than the threshold (default +25%).
+
+To refresh the baseline after an intentional perf change::
+
+    python tools/check_perf.py bench.json benchmarks/perf/baseline.json \
+        --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+#: Normalized regression tolerance: fail when a benchmark is more than
+#: this factor slower than the (calibration-scaled) baseline.
+DEFAULT_THRESHOLD = 1.25
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Best-of-``rounds`` process time of a fixed pure-Python workload.
+
+    Shaped like the simulator's hot path (integer arithmetic, list
+    append/pop, dict access) so the scale factor tracks interpreter and
+    host speed rather than e.g. vector throughput.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.process_time()
+        acc = 0
+        stack = []
+        table = {}
+        for i in range(600_000):
+            acc = (acc + i * i) & 0xFFFFFF
+            stack.append(acc)
+            if acc & 1:
+                table[acc & 0x3FF] = i
+            if len(stack) > 64:
+                stack.pop()
+        assert stack and table
+        best = min(best, time.process_time() - t0)
+    return best
+
+
+def _best_times(bench_json: dict) -> dict:
+    """{short_name: min seconds} from a pytest-benchmark JSON document."""
+    out = {}
+    for b in bench_json["benchmarks"]:
+        # "test_perf_smoke[fabric_churn]" -> "fabric_churn"
+        name = b["name"]
+        if "[" in name:
+            name = name[name.index("[") + 1 : name.rindex("]")]
+        out[name] = float(b["stats"]["min"])
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=f"normalized slowdown factor that fails the check "
+        f"(default: baseline file's, else {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current run instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    current = _best_times(json.loads(pathlib.Path(args.current).read_text()))
+    cal = calibrate()
+
+    baseline_path = pathlib.Path(args.baseline)
+    if args.update:
+        doc = {
+            "calibration_s": round(cal, 4),
+            "threshold": args.threshold or DEFAULT_THRESHOLD,
+            "statistic": "min seconds per benchmark (pytest-benchmark)",
+            "note": (
+                "raw times are host-specific; check_perf.py scales them by "
+                "the calibration ratio before comparing"
+            ),
+            "benchmarks": {k: round(v, 4) for k, v in sorted(current.items())},
+        }
+        baseline_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {baseline_path} (calibration {cal:.3f}s)")
+        return 0
+
+    baseline = json.loads(baseline_path.read_text())
+    threshold = args.threshold or baseline.get("threshold", DEFAULT_THRESHOLD)
+    factor = cal / baseline["calibration_s"]
+    print(
+        f"calibration: baseline {baseline['calibration_s']:.3f}s, "
+        f"current {cal:.3f}s -> host factor {factor:.2f}x"
+    )
+
+    failures = []
+    for name, base_s in sorted(baseline["benchmarks"].items()):
+        got = current.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        allowed = base_s * factor * threshold
+        ratio = got / (base_s * factor)
+        status = "ok"
+        if got > allowed:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {got:.3f}s vs allowed {allowed:.3f}s "
+                f"({ratio:.2f}x normalized baseline)"
+            )
+        elif ratio < 1 / threshold:
+            status = "faster (consider --update)"
+        print(
+            f"  {name:22s} {got:8.3f}s  baseline*factor {base_s * factor:8.3f}s "
+            f" {ratio:5.2f}x  {status}"
+        )
+
+    extra = sorted(set(current) - set(baseline["benchmarks"]))
+    if extra:
+        print(f"  (new benchmarks not in baseline: {', '.join(extra)})")
+
+    if failures:
+        print("\nPERF CHECK FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print(
+            "\nIf the slowdown is intentional, refresh the baseline with "
+            "--update and justify it in the commit message.",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
