@@ -134,6 +134,60 @@ def telemetry_emit(n: int = 150_000) -> Dict[str, Any]:
     return {"records": len(flat) + n, "retained_ring": len(ring)}
 
 
+def sweep_replication(
+    seeds: int = 16, jobs: int = 4, sim_s: float = 0.1
+) -> Dict[str, Any]:
+    """16-seed replication sweep: serial vs pooled vs warm cache.
+
+    Measures the parallel experiment engine itself: the same
+    ``replicate_scenario`` fan-out run serially, through a ``jobs``-wide
+    process pool (cold cache), and again warm.  The parent's
+    ``process_time`` cannot see child CPU, so the honest statistics for
+    this workload are the wall-clock ratios in ``meta`` —
+    ``parallel_speedup_wall`` (bounded by the host's core count, also
+    recorded) and ``warm_over_cold`` (cache hits are file reads).
+    The three runs must agree bit for bit (``identical``).
+    """
+    import os
+    import tempfile
+
+    from repro.experiments.multiseed import sweep_scenario
+
+    seed_list = list(range(seeds))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as cache_dir:
+        wall0 = time.perf_counter()
+        serial, _ = sweep_scenario(
+            "bench-sweep", seed_list, jobs=1, sim_s=sim_s
+        )
+        serial_wall = time.perf_counter() - wall0
+
+        wall0 = time.perf_counter()
+        cold, cold_report = sweep_scenario(
+            "bench-sweep", seed_list, jobs=jobs, cache=cache_dir, sim_s=sim_s
+        )
+        cold_wall = time.perf_counter() - wall0
+
+        wall0 = time.perf_counter()
+        warm, warm_report = sweep_scenario(
+            "bench-sweep", seed_list, jobs=jobs, cache=cache_dir, sim_s=sim_s
+        )
+        warm_wall = time.perf_counter() - wall0
+
+    return {
+        "seeds": seeds,
+        "jobs": jobs,
+        "cpus": os.cpu_count(),
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(cold_wall, 4),
+        "parallel_speedup_wall": round(serial_wall / cold_wall, 3),
+        "pool_utilization": round(cold_report.utilization, 3),
+        "warm_wall_s": round(warm_wall, 4),
+        "warm_over_cold": round(warm_wall / cold_wall, 4),
+        "warm_cache_hits": warm_report.cached,
+        "identical": serial.values == cold.values == warm.values,
+    }
+
+
 #: name -> (workload, one-line description).
 WORKLOADS: Dict[str, Tuple[Callable[[], Dict[str, Any]], str]] = {
     "headline_managed": (
@@ -150,6 +204,10 @@ WORKLOADS: Dict[str, Tuple[Callable[[], Dict[str, Any]], str]] = {
     ),
     "telemetry_emit": (
         telemetry_emit, "300k telemetry records, list + ring mode"
+    ),
+    "sweep_replication": (
+        sweep_replication,
+        "16-seed replication sweep: serial vs 4-worker pool vs warm cache",
     ),
 }
 

@@ -53,7 +53,9 @@ def _format_size(nbytes) -> str:
     return str(nbytes)
 
 
-def _run_experiment_set(args: argparse.Namespace, registry: dict) -> int:
+def _run_experiment_set(
+    args: argparse.Namespace, registry_name: str, registry: dict
+) -> int:
     if args.list:
         for name, fn in registry.items():
             doc = (fn.__doc__ or "").strip().splitlines()
@@ -80,9 +82,24 @@ def _run_experiment_set(args: argparse.Namespace, registry: dict) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
 
     log = get_logger()
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1:
+        from repro.experiments.suite import run_registry_set
+
+        log.debug(f"fanning {len(names)} experiments to {jobs} workers...")
+        results, report = run_registry_set(
+            registry_name, names, seed=args.seed, jobs=jobs
+        )
+        log.debug(report.render())
+    else:
+        results = None
+
     for name in names:
-        log.debug(f"running {name}...")
-        result = registry[name](seed=args.seed)
+        if results is not None:
+            result = results[name]
+        else:
+            log.debug(f"running {name}...")
+            result = registry[name](seed=args.seed)
         text = result.render()
         print(text)
         print()
@@ -99,13 +116,13 @@ def _run_experiment_set(args: argparse.Namespace, registry: dict) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_FIGURES
 
-    return _run_experiment_set(args, ALL_FIGURES)
+    return _run_experiment_set(args, "figures", ALL_FIGURES)
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
     from repro.experiments.ablations import ALL_ABLATIONS
 
-    return _run_experiment_set(args, ALL_ABLATIONS)
+    return _run_experiment_set(args, "ablations", ALL_ABLATIONS)
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
@@ -161,6 +178,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         seed=args.seed,
         include_ablations=not args.no_ablations,
         progress=log.info,
+        jobs=args.jobs,
     )
     if args.output:
         pathlib.Path(args.output).write_text(text)
@@ -348,6 +366,115 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seeds(text: str) -> List[int]:
+    """'8' -> seeds 0..7; '3:7' -> [3..6]; '1,5,9' -> that list."""
+    t = text.strip()
+    try:
+        if ":" in t:
+            lo, hi = t.split(":", 1)
+            seeds = list(range(int(lo), int(hi)))
+        elif "," in t:
+            seeds = [int(x) for x in t.split(",") if x.strip()]
+        else:
+            seeds = list(range(int(t)))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid seed spec {text!r} (expected e.g. '8', '3:7' or '1,5,9')"
+        ) from None
+    if not seeds:
+        raise argparse.ArgumentTypeError(f"seed spec {text!r} selects no seeds")
+    return seeds
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table
+    from repro.experiments.multiseed import (
+        CHAOS_METRICS,
+        sweep_chaos,
+        sweep_scenario,
+    )
+
+    log = get_logger()
+    cache = None if args.no_cache else args.cache_dir
+    kwargs = {"sim_s": args.sim_s}
+    if args.interferer:
+        from repro.benchex import BenchExConfig
+
+        kwargs["interferer"] = BenchExConfig(
+            name="interferer", buffer_bytes=args.interferer
+        )
+    if args.policy is not None:
+        kwargs["policy"] = args.policy or None
+
+    log.debug(
+        f"sweeping {args.name!r} over {len(args.seeds)} seeds "
+        f"(jobs={args.jobs}, cache={cache or 'off'})"
+    )
+    if args.campaign:
+        replications, report = sweep_chaos(
+            args.name,
+            args.seeds,
+            campaign=args.campaign,
+            jobs=args.jobs,
+            cache=cache,
+            **kwargs,
+        )
+        metrics = {m: replications[m] for m in CHAOS_METRICS}
+    else:
+        replication, report = sweep_scenario(
+            args.name, args.seeds, jobs=args.jobs, cache=cache, **kwargs
+        )
+        metrics = {"total_mean": replication}
+
+    if args.json:
+        import json
+
+        doc = {
+            "name": args.name,
+            "campaign": args.campaign,
+            "seeds": args.seeds,
+            "jobs": args.jobs,
+            "metrics": {
+                key: {
+                    "values": list(rep.values),
+                    "mean": rep.mean,
+                    "std": rep.std,
+                    "median": rep.median,
+                    "ci95_halfwidth": rep.ci95_halfwidth(),
+                    "n_nonfinite": rep.n_nonfinite,
+                }
+                for key, rep in metrics.items()
+            },
+            "report": report.to_dict(),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [
+                key,
+                rep.mean,
+                rep.ci95_halfwidth(),
+                rep.median,
+                rep.minimum,
+                rep.maximum,
+                float(rep.n_nonfinite),
+            ]
+            for key, rep in metrics.items()
+        ]
+        print(
+            render_table(
+                ["metric", "mean", "ci95", "median", "min", "max", "n inf"],
+                rows,
+                title=(
+                    f"sweep {args.name!r} x{len(args.seeds)} seeds"
+                    + (f" (campaign {args.campaign})" if args.campaign else "")
+                ),
+            )
+        )
+        print(report.render())
+    return 0
+
+
 def _cmd_policies(_args: argparse.Namespace) -> int:
     from repro.resex import registered_policies
 
@@ -398,6 +525,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--json",
             action="store_true",
             help="also write structured JSON next to saved text (with --out)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes to fan experiments out to (default 1)",
         )
 
     figures = sub.add_parser("figures", help="run paper-figure experiments")
@@ -541,7 +674,78 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--no-ablations", action="store_true", help="figures only"
     )
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to fan experiments out to (default 1)",
+    )
     report.set_defaults(func=_cmd_report)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="replicate a scenario (or chaos campaign) across seeds "
+        "through the parallel sweep engine",
+        description=(
+            "Fan independent (scenario, seed) cells out to a process pool "
+            "and aggregate the results.  Parallel equals serial bit for "
+            "bit: results merge in submission order and every cell is a "
+            "self-contained seeded simulation.  With --cache-dir, cells "
+            "already computed for this package version are served from "
+            "the content-addressed result cache."
+        ),
+    )
+    add_verbosity_args(sweep)
+    sweep.add_argument(
+        "name",
+        nargs="?",
+        default="sweep",
+        help="scenario label; with --campaign, a chaos preset name "
+        "(e.g. fig9)",
+    )
+    sweep.add_argument(
+        "--seeds",
+        type=_parse_seeds,
+        default=list(range(8)),
+        help="seed spec: count ('8' = seeds 0..7), range ('3:7') or "
+        "explicit list ('1,5,9'); default 8",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1 = serial, same entrypoint)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        help="content-addressed result cache directory (created on demand)",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir and recompute everything",
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit values, statistics and the sweep report as JSON",
+    )
+    sweep.add_argument(
+        "--campaign",
+        help="sweep a chaos scenario under this fault campaign preset "
+        "instead of a plain scenario",
+    )
+    sweep.add_argument(
+        "--interferer",
+        type=_parse_size,
+        help="interfering VM buffer size (e.g. 2MB); omit for base case",
+    )
+    sweep.add_argument(
+        "--policy",
+        help="pricing policy name (see 'repro policies'); omit for none",
+    )
+    sweep.add_argument("--sim-s", type=float, default=1.0)
+    sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 

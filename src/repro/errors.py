@@ -73,3 +73,18 @@ class FaultError(ReproError):
 
 class FinanceError(ReproError):
     """Errors from the financial algorithms library."""
+
+
+class SweepError(ReproError):
+    """One or more cells of a parallel experiment sweep failed.
+
+    Raised by the :mod:`repro.parallel` helpers that promise complete
+    results (``replicate_*``); carries the per-cell error summaries so
+    a single crashed worker is attributable to its exact (scenario,
+    seed) cell instead of surfacing as a broken pool.
+    """
+
+    def __init__(self, message: str, cell_errors=()):
+        super().__init__(message)
+        #: ``(job_label, error_text)`` pairs, submission order.
+        self.cell_errors = tuple(cell_errors)

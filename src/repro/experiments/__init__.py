@@ -2,10 +2,19 @@
 
 from repro.experiments.figures import ALL_FIGURES, FigureResult, scale_factor
 from repro.experiments.multiseed import (
+    CHAOS_METRICS,
     Replication,
     replicate_chaos,
     replicate_comparison,
     replicate_scenario,
+    sweep_chaos,
+    sweep_comparison,
+    sweep_scenario,
+)
+from repro.experiments.suite import (
+    run_ablation_set,
+    run_figure_set,
+    run_registry_set,
 )
 from repro.experiments.platform import Node, Testbed
 from repro.experiments.scenarios import (
@@ -22,6 +31,7 @@ from repro.experiments.scenarios import (
 
 __all__ = [
     "ALL_FIGURES",
+    "CHAOS_METRICS",
     "CHAOS_SCENARIOS",
     "ChaosResult",
     "FigureResult",
@@ -36,7 +46,13 @@ __all__ = [
     "replicate_chaos",
     "replicate_comparison",
     "replicate_scenario",
+    "run_ablation_set",
     "run_chaos_scenario",
+    "run_figure_set",
+    "run_registry_set",
     "run_scenario",
     "scale_factor",
+    "sweep_chaos",
+    "sweep_comparison",
+    "sweep_scenario",
 ]

@@ -3,22 +3,43 @@
 One deterministic run is a single sample of the (seeded) stochastic
 workload.  For robustness claims — "IOShares keeps the victim within X
 of base" — replicate the scenario across seeds and report the spread.
+
+Replication is embarrassingly parallel, so every helper here runs
+through the :mod:`repro.parallel` engine: ``jobs=`` fans the seeds out
+to a process pool, ``cache=`` short-circuits cells already computed
+for this package version.  Serial (``jobs=1``) and parallel execution
+produce **bit-identical** :class:`Replication` values — cells merge in
+submission order and each cell is a self-contained seeded simulation.
+
+The ``sweep_*`` variants return the folded
+:class:`~repro.parallel.SweepReport` alongside the statistics; the
+``replicate_*`` functions keep their historical signatures and raise
+:class:`~repro.errors.SweepError` if any cell failed.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigError
-from repro.experiments.scenarios import run_chaos_scenario, run_scenario
+from repro.errors import ConfigError, SweepError
+from repro.parallel import SweepJob, SweepReport, SweepResult, run_sweep
 
 
 @dataclass(frozen=True)
 class Replication:
-    """Aggregate of one metric across seeds."""
+    """Aggregate of one metric across seeds.
+
+    Chaos series may legitimately contain ``inf`` (``worst_ttr_ms``
+    when a fault window never healed).  Order statistics (`median`,
+    `percentile`, `minimum`, `maximum`) are taken over the full
+    series; the moment statistics (`std`, `ci95_halfwidth`) are
+    computed over the *finite* subsample and reported next to
+    :attr:`n_nonfinite` rather than silently propagating ``inf``/NaN.
+    """
 
     name: str
     seeds: tuple
@@ -26,11 +47,30 @@ class Replication:
 
     @property
     def mean(self) -> float:
+        """Mean over the full series — ``inf`` stays honest here."""
         return float(np.mean(self.values))
 
     @property
+    def finite_values(self) -> tuple:
+        """The finite subsample (moment statistics are taken on it)."""
+        return tuple(v for v in self.values if math.isfinite(v))
+
+    @property
+    def n_nonfinite(self) -> int:
+        """How many samples are ``inf``/NaN (e.g. never-recovered runs)."""
+        return len(self.values) - len(self.finite_values)
+
+    @property
+    def finite_mean(self) -> float:
+        """Mean of the finite subsample (NaN when nothing is finite)."""
+        finite = self.finite_values
+        return float(np.mean(finite)) if finite else float("nan")
+
+    @property
     def std(self) -> float:
-        return float(np.std(self.values, ddof=1)) if len(self.values) > 1 else 0.0
+        """Sample std (ddof=1) of the finite subsample."""
+        finite = self.finite_values
+        return float(np.std(finite, ddof=1)) if len(finite) > 1 else 0.0
 
     @property
     def minimum(self) -> float:
@@ -40,52 +80,190 @@ class Replication:
     def maximum(self) -> float:
         return float(np.max(self.values))
 
+    @property
+    def median(self) -> float:
+        """Median of the full series (robust to a minority of infs)."""
+        return float(np.median(self.values))
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) of the full series."""
+        if not 0.0 <= p <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {p}")
+        return float(np.percentile(self.values, p))
+
     def ci95_halfwidth(self) -> float:
-        """Normal-approximation 95% confidence half-width of the mean."""
-        n = len(self.values)
+        """Normal-approximation 95% confidence half-width of the mean.
+
+        Computed over the finite subsample; NaN when fewer than two
+        finite samples exist.  Check :attr:`n_nonfinite` to see how
+        many samples the interval excludes.
+        """
+        finite = self.finite_values
+        n = len(finite)
         if n < 2:
             return float("nan")
         return 1.96 * self.std / np.sqrt(n)
 
     def __repr__(self) -> str:
-        return (
-            f"<Replication {self.name!r} {self.mean:.1f} "
-            f"+/- {self.ci95_halfwidth():.1f} (n={len(self.values)})>"
+        suffix = (
+            f" [{self.n_nonfinite} non-finite]" if self.n_nonfinite else ""
         )
+        center = self.finite_mean if self.n_nonfinite else self.mean
+        return (
+            f"<Replication {self.name!r} {center:.1f} "
+            f"+/- {self.ci95_halfwidth():.1f} (n={len(self.values)}){suffix}>"
+        )
+
+
+def _check_complete(result: SweepResult, what: str) -> None:
+    failures = result.failed()
+    if failures:
+        details = [(c.job.label, c.error or "") for c in failures]
+        summary = "; ".join(
+            f"{label}: {err.splitlines()[0] if err else 'unknown'}"
+            for label, err in details
+        )
+        raise SweepError(
+            f"{len(failures)}/{len(result.cells)} {what} cells failed: "
+            f"{summary}",
+            cell_errors=details,
+        )
+
+
+def sweep_scenario(
+    name: str,
+    seeds: Sequence[int],
+    *,
+    jobs: int = 1,
+    cache=None,
+    telemetry=None,
+    **scenario_kwargs,
+) -> Tuple[Replication, SweepReport]:
+    """Replicate one scenario across ``seeds`` through the sweep engine.
+
+    Returns the :class:`Replication` of the mean server-side total
+    latency (us) plus the engine's :class:`SweepReport`.
+    """
+    if not seeds:
+        raise ConfigError("at least one seed is required")
+    cells = [
+        SweepJob("scenario", name, int(seed), dict(scenario_kwargs))
+        for seed in seeds
+    ]
+    result = run_sweep(cells, workers=jobs, cache=cache, telemetry=telemetry)
+    _check_complete(result, "scenario")
+    return (
+        Replication(
+            name=name,
+            seeds=tuple(seeds),
+            values=result.values("total_mean"),
+        ),
+        result.report,
+    )
 
 
 def replicate_scenario(
     name: str,
     seeds: Sequence[int],
+    *,
+    jobs: int = 1,
+    cache=None,
     **scenario_kwargs,
 ) -> Replication:
     """Run the same scenario across ``seeds``; aggregates the mean
-    server-side total latency (us)."""
+    server-side total latency (us).
+
+    ``jobs`` fans the seeds out to a process pool; ``cache`` (a
+    directory or :class:`~repro.parallel.ResultCache`) reuses cells
+    already computed for this package version.  Both knobs change only
+    wall-clock time, never values.
+    """
+    replication, _ = sweep_scenario(
+        name, seeds, jobs=jobs, cache=cache, **scenario_kwargs
+    )
+    return replication
+
+
+def sweep_comparison(
+    seeds: Sequence[int],
+    configurations: Dict[str, dict],
+    *,
+    jobs: int = 1,
+    cache=None,
+    telemetry=None,
+) -> Tuple[Dict[str, Replication], SweepReport]:
+    """Replicate several configurations over the same seeds, in one
+    sweep — all (configuration, seed) cells share a single pool, so
+    the fan-out is ``len(configurations) * len(seeds)`` wide.
+    """
     if not seeds:
         raise ConfigError("at least one seed is required")
-    values: List[float] = []
-    for seed in seeds:
-        result = run_scenario(f"{name}-s{seed}", seed=seed, **scenario_kwargs)
-        values.append(result.breakdown.total_mean)
-    return Replication(name=name, seeds=tuple(seeds), values=tuple(values))
+    cells: List[SweepJob] = []
+    for label, kwargs in configurations.items():
+        for seed in seeds:
+            cells.append(SweepJob("scenario", label, int(seed), dict(kwargs)))
+    result = run_sweep(cells, workers=jobs, cache=cache, telemetry=telemetry)
+    _check_complete(result, "comparison")
+    n = len(seeds)
+    out: Dict[str, Replication] = {}
+    for i, label in enumerate(configurations):
+        block = result.cells[i * n:(i + 1) * n]
+        out[label] = Replication(
+            name=label,
+            seeds=tuple(seeds),
+            values=tuple(c.metrics["total_mean"] for c in block),
+        )
+    return out, result.report
 
 
 def replicate_comparison(
     seeds: Sequence[int],
     configurations: Dict[str, dict],
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> Dict[str, Replication]:
     """Replicate several configurations over the same seeds.
 
     ``configurations`` maps a label to run_scenario keyword arguments.
     """
-    return {
-        label: replicate_scenario(label, seeds, **kwargs)
-        for label, kwargs in configurations.items()
-    }
+    out, _ = sweep_comparison(
+        seeds, configurations, jobs=jobs, cache=cache
+    )
+    return out
 
 
 #: Resilience metrics :func:`replicate_chaos` aggregates per seed.
 CHAOS_METRICS = ("excursion_us_s", "worst_ttr_ms", "recovered")
+
+
+def sweep_chaos(
+    name: str,
+    seeds: Sequence[int],
+    *,
+    campaign: str,
+    jobs: int = 1,
+    cache=None,
+    telemetry=None,
+    **chaos_kwargs,
+) -> Tuple[Dict[str, Replication], SweepReport]:
+    """Replicate a chaos scenario across seeds through the sweep engine."""
+    if not seeds:
+        raise ConfigError("at least one seed is required")
+    spec = dict(chaos_kwargs)
+    spec["campaign"] = campaign
+    cells = [SweepJob("chaos", name, int(seed), spec) for seed in seeds]
+    result = run_sweep(cells, workers=jobs, cache=cache, telemetry=telemetry)
+    _check_complete(result, "chaos")
+    out = {
+        metric: Replication(
+            name=f"{name}/{metric}",
+            seeds=tuple(seeds),
+            values=result.values(metric),
+        )
+        for metric in CHAOS_METRICS
+    }
+    return out, result.report
 
 
 def replicate_chaos(
@@ -93,6 +271,8 @@ def replicate_chaos(
     seeds: Sequence[int],
     *,
     campaign: str,
+    jobs: int = 1,
+    cache=None,
     **chaos_kwargs,
 ) -> Dict[str, Replication]:
     """Replicate a chaos scenario across seeds; aggregate resilience.
@@ -104,28 +284,12 @@ def replicate_chaos(
 
     * ``excursion_us_s`` — total latency-excursion area of the run;
     * ``worst_ttr_ms`` — slowest recovery (``inf`` when a fault window
-      never healed, so the mean stays honest about non-recovery);
+      never healed; the mean stays honest about non-recovery while
+      ``std``/``ci95_halfwidth`` report the finite subsample next to
+      :attr:`Replication.n_nonfinite`);
     * ``recovered`` — 1.0/0.0 indicator that every window healed.
     """
-    if not seeds:
-        raise ConfigError("at least one seed is required")
-    series: Dict[str, List[float]] = {m: [] for m in CHAOS_METRICS}
-    for seed in seeds:
-        chaos = run_chaos_scenario(
-            name, campaign=campaign, seed=seed, **chaos_kwargs
-        )
-        report = chaos.report
-        worst = report.worst_ttr_ms
-        series["excursion_us_s"].append(report.total_excursion_us_s)
-        series["worst_ttr_ms"].append(
-            float("inf") if worst is None else worst
-        )
-        series["recovered"].append(1.0 if report.recovered_all else 0.0)
-    return {
-        metric: Replication(
-            name=f"{name}/{metric}",
-            seeds=tuple(seeds),
-            values=tuple(values),
-        )
-        for metric, values in series.items()
-    }
+    out, _ = sweep_chaos(
+        name, seeds, campaign=campaign, jobs=jobs, cache=cache, **chaos_kwargs
+    )
+    return out

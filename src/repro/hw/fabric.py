@@ -34,6 +34,14 @@ _COMPLETION_EPS = 1e-6
 #: O(n) key construction and hashing per event for a ~0% hit rate.
 _MEMO_MAX_TRANSFERS = 24
 
+#: Adaptive memo probation: after this many memoized lookups the hit
+#: rate is inspected once, and if it is below ``_MEMO_MIN_HIT_RATE``
+#: the memo is disabled for the rest of the fabric's life.  High-churn
+#: workloads whose small active sets never recur (every composition is
+#: new) would otherwise pay key construction forever for ~0% hits.
+_MEMO_PROBATION_LOOKUPS = 1024
+_MEMO_MIN_HIT_RATE = 0.05
+
 
 class NetLink:
     """One unidirectional link (or link direction) with fixed capacity."""
@@ -167,14 +175,24 @@ def maxmin_rates(
     unfrozen = dict.fromkeys(active)  # insertion-ordered set
     while unfrozen:
         # Normalized share (rate per weight unit) each link could still
-        # give its unfrozen transfers.
+        # give its unfrozen transfers.  While summing, each member list
+        # is compacted in place to its unfrozen entries — relative
+        # order is preserved, so the left-to-right float sum is
+        # identical to a scan that merely skipped frozen entries, and
+        # later iterations touch only still-live members.
         best_link: Optional[NetLink] = None
         best_share = math.inf
         for link in link_order:
+            lst = members[link]
             weight_sum = 0.0
-            for t in members[link]:
+            k = 0
+            for t in lst:
                 if t in unfrozen:
+                    lst[k] = t
+                    k += 1
                     weight_sum += t.weight
+            if k != len(lst):
+                del lst[k:]
             if weight_sum == 0:
                 continue
             share = max(cap_left[link], 0.0) / weight_sum
@@ -190,6 +208,9 @@ def maxmin_rates(
             # for non-empty paths, but guard against it).
             raise FabricError("max-min: transfers with no constraining link")
         for t in members[best_link]:
+            # Compacted above, so members are unfrozen — the guard only
+            # protects against a transfer listed twice (degenerate path
+            # visiting one link twice).
             if t in unfrozen:
                 rate = best_share * t.weight
                 rates[t] = rate
@@ -215,6 +236,15 @@ class FluidFabric:
         #: Scenario traffic revisits a handful of active-set shapes
         #: thousands of times, so hits dominate after warmup.
         self._solve_cache: Dict[tuple, Tuple[float, ...]] = {}
+        self._memo_lookups = 0
+        self._memo_hits = 0
+        self._memo_enabled = True
+        #: Per-link active-transfer membership, maintained incrementally
+        #: on submit/complete (dicts double as insertion-ordered sets,
+        #: so each link's members stay in submission order).  Links with
+        #: no active transfers are absent, so ``len(self._members)`` is
+        #: the number of involved links.
+        self._members: Dict[NetLink, Dict[Transfer, None]] = {}
 
     # -- topology -----------------------------------------------------------
     def add_link(self, name: str, capacity_bytes_per_sec: float) -> NetLink:
@@ -312,6 +342,12 @@ class FluidFabric:
 
         self._advance()
         self._active.append(transfer)
+        members = self._members
+        for link in transfer.path:
+            lst = members.get(link)
+            if lst is None:
+                members[link] = lst = {}
+            lst[transfer] = None
         self._reallocate(transfer.path)
         self._schedule_next()
         return transfer
@@ -359,8 +395,23 @@ class FluidFabric:
         """
         if not transfers:
             return ()
-        if len(transfers) > _MEMO_MAX_TRANSFERS:
-            # Too big to recur: solve directly, skip the memo entirely.
+        if len(transfers) > _MEMO_MAX_TRANSFERS or not self._memo_enabled:
+            # Too big (or proven not to recur): solve directly.
+            rates = maxmin_rates(
+                transfers, lambda link: link.capacity_bytes_per_ns
+            )
+            return tuple(rates[t] for t in transfers)
+        lookups = self._memo_lookups + 1
+        self._memo_lookups = lookups
+        if lookups == _MEMO_PROBATION_LOOKUPS and (
+            self._memo_hits < lookups * _MEMO_MIN_HIT_RATE
+        ):
+            # High churn: compositions never recur, so key construction
+            # is pure overhead.  Same floats either way (the memo only
+            # ever returns what a fresh solve would), so disabling it
+            # mid-run cannot change results.
+            self._memo_enabled = False
+            self._solve_cache.clear()
             rates = maxmin_rates(
                 transfers, lambda link: link.capacity_bytes_per_ns
             )
@@ -377,7 +428,9 @@ class FluidFabric:
                     lkey.append((name, link.capacity_bps))
         key = (tuple(tkey), tuple(lkey))
         cached = self._solve_cache.get(key)
-        if cached is None:
+        if cached is not None:
+            self._memo_hits += 1
+        else:
             rates = maxmin_rates(
                 transfers, lambda link: link.capacity_bytes_per_ns
             )
@@ -404,40 +457,38 @@ class FluidFabric:
         if not active:
             return
         if touched_links is not None and len(active) > 1:
-            # One adjacency pass, then a BFS over links.  The BFS bails
-            # out to the global solve as soon as the growing linkset
-            # provably covers every involved link — the common case for
-            # hot shared topologies, where any per-transfer scan beyond
-            # the adjacency build would be pure overhead.
-            by_link: Dict[NetLink, List[int]] = {}
-            for idx, t in enumerate(active):
-                for link in t.path:
-                    lst = by_link.get(link)
-                    if lst is None:
-                        by_link[link] = lst = []
-                    lst.append(idx)
-            involved = len(by_link)
+            # BFS over the maintained per-link membership (no per-event
+            # adjacency rebuild).  The walk bails out to the global
+            # solve as soon as the growing linkset provably covers
+            # every involved link — the common case for hot shared
+            # topologies, usually after inspecting only a handful of
+            # members rather than the whole active set.
+            members = self._members
+            involved = len(members)
             linkset = {
-                link for link in touched_links if link in by_link
+                link for link in touched_links if link in members
             }
             if len(linkset) < involved:
                 frontier = list(linkset)
-                affected_idx: set = set()
+                affected: Dict[Transfer, None] = {}
                 while frontier and len(linkset) < involved:
                     link = frontier.pop()
-                    for idx in by_link[link]:
-                        if idx not in affected_idx:
-                            affected_idx.add(idx)
-                            for l2 in active[idx].path:
+                    for t in members[link]:
+                        if t not in affected:
+                            affected[t] = None
+                            for l2 in t.path:
                                 if l2 not in linkset:
                                     linkset.add(l2)
                                     frontier.append(l2)
+                        if len(linkset) == involved:
+                            break
                 if len(linkset) < involved:
-                    # Genuinely smaller component: indices ascend in
-                    # submission order, matching the global iteration
-                    # order, so the restricted solve is bit-identical.
-                    affected = [active[i] for i in sorted(affected_idx)]
-                    for t, rate in zip(affected, self._solve(affected)):
+                    # Genuinely smaller component: transfer ids ascend
+                    # in submission order, matching the global
+                    # iteration order, so the restricted solve is
+                    # bit-identical.
+                    aff = sorted(affected, key=lambda t: t.transfer_id)
+                    for t, rate in zip(aff, self._solve(aff)):
                         t.rate = rate
                     return
         for t, rate in zip(active, self._solve(active)):
@@ -472,8 +523,15 @@ class FluidFabric:
         finished = [t for t in self._active if t.remaining <= _COMPLETION_EPS]
         if finished:
             touched: List[NetLink] = []
+            members = self._members
             for t in finished:
                 self._active.remove(t)
+                for link in t.path:
+                    lst = members.get(link)
+                    if lst is not None:
+                        lst.pop(t, None)
+                        if not lst:
+                            del members[link]
                 t.completed_at = self.env.now
                 self.completions.append(
                     (

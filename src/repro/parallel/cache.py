@@ -1,0 +1,175 @@
+"""Content-addressed on-disk cache for sweep cell results.
+
+A sweep cell is one (scenario, seed, config) simulation.  Every cell
+is deterministic — same inputs, bit-identical outputs — so its result
+can be addressed purely by content: the cache key is a SHA-256 over a
+*canonical* JSON encoding of ``(repro version, job kind, scenario
+name, seed, scenario kwargs)``.  Re-running a sweep after an edit that
+does not change those inputs is a pure cache hit; bumping the package
+version, changing any kwarg, or changing a seed changes the key and
+forces a recompute.
+
+Design points:
+
+* **Canonical encoding.**  Scenario kwargs are arbitrary small object
+  graphs (``BenchExConfig`` dataclasses, pricing-policy instances,
+  fault campaigns...).  :func:`canonical` lowers them to a JSON value
+  deterministically: dataclasses become ``{"__dataclass__": qualname,
+  fields...}``, plain objects become their qualified name plus their
+  ``__dict__``, mappings are key-sorted at dump time.  Anything it
+  cannot encode faithfully (lambdas, open handles) raises
+  :class:`Uncacheable` and the engine simply runs that cell uncached —
+  a correctness-preserving degradation, never a wrong hit.
+* **Bit-exact round-trip.**  Python's ``json`` writes floats with
+  ``repr`` (shortest round-trip form) and parses ``Infinity``/``NaN``
+  constants, so cached metric values compare equal to freshly computed
+  ones — the serial-equals-parallel contract survives the cache.
+* **Atomic, concurrent-safe writes.**  Payloads are written to a
+  temp file and ``os.replace``d into place, so a parallel sweep (or
+  two sweeps sharing a cache directory) never observes a torn file;
+  a corrupt or unreadable entry is treated as a miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Dict, Optional
+
+from repro._version import __version__
+
+#: Payload schema identifier; bump when the stored document shape
+#: changes (also invalidates every existing entry, on purpose).
+CELL_SCHEMA = "repro-cell/1"
+
+
+class Uncacheable(Exception):
+    """A job spec contains values with no canonical encoding."""
+
+
+def canonical(obj: Any) -> Any:
+    """Lower ``obj`` to a deterministic JSON-encodable value.
+
+    Raises :class:`Uncacheable` for values whose identity cannot be
+    captured by content (callables, modules, objects without state).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        out: Dict[str, Any] = {}
+        for k, v in obj.items():
+            if not isinstance(k, (str, int, bool)) and k is not None:
+                raise Uncacheable(f"mapping key {k!r} is not canonicalizable")
+            out[str(k)] = canonical(v)
+        return out
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                f.name: canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    # numpy scalars (np.float64 etc.) expose item(); avoid importing
+    # numpy here so the cache stays dependency-light.
+    item = getattr(obj, "item", None)
+    if callable(item) and type(obj).__module__.startswith("numpy"):
+        return canonical(obj.item())
+    if callable(obj):
+        raise Uncacheable(f"callable {obj!r} has no canonical encoding")
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        cls = type(obj)
+        return {
+            "__object__": f"{cls.__module__}.{cls.__qualname__}",
+            "state": canonical(state),
+        }
+    raise Uncacheable(f"value {obj!r} of type {type(obj)} is not canonicalizable")
+
+
+def cell_key(
+    kind: str,
+    name: str,
+    seed: int,
+    spec: Dict[str, Any],
+    version: str = __version__,
+) -> str:
+    """The content address (SHA-256 hex digest) of one sweep cell.
+
+    Raises :class:`Uncacheable` when ``spec`` cannot be encoded.
+    """
+    doc = {
+        "schema": CELL_SCHEMA,
+        "version": version,
+        "kind": kind,
+        "name": name,
+        "seed": seed,
+        "spec": canonical(spec),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed result store rooted at one directory.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json`` (fan-out keeps
+    directory listings sane for multi-thousand-cell sweeps).
+    """
+
+    def __init__(self, root, version: str = __version__) -> None:
+        self.root = pathlib.Path(root)
+        self.version = version
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def key(self, kind: str, name: str, seed: int, spec: Dict[str, Any]) -> Optional[str]:
+        """The cell's content address, or ``None`` when uncacheable."""
+        try:
+            return cell_key(kind, name, seed, spec, version=self.version)
+        except Uncacheable:
+            return None
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored metrics payload, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if doc.get("schema") != CELL_SCHEMA:
+            return None
+        metrics = doc.get("metrics")
+        return metrics if isinstance(metrics, dict) else None
+
+    def store(self, key: str, metrics: Dict[str, Any], meta: Optional[Dict[str, Any]] = None) -> None:
+        """Atomically persist ``metrics`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": CELL_SCHEMA,
+            "version": self.version,
+            "metrics": metrics,
+        }
+        if meta:
+            doc["meta"] = meta
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, sort_keys=True) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"<ResultCache {str(self.root)!r} version={self.version}>"

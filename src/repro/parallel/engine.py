@@ -1,0 +1,405 @@
+"""Deterministic process-pool experiment engine (``repro sweep``).
+
+Everything above a single scenario run — replications, comparisons,
+chaos campaigns, ablation suites, figure sets — is a batch of
+*independent* seeded simulations.  This engine fans those cells out to
+``jobs`` worker processes and merges results **in submission order**,
+so serial and parallel execution produce byte-identical aggregates:
+
+* a cell is a picklable :class:`SweepJob` — kind + name + seed + plain
+  kwargs; the worker entrypoint rebuilds the scenario from kwargs, so
+  no ``Environment``/process/generator objects ever cross the pipe;
+* each cell runs in a fresh deterministic simulation seeded only by
+  its job spec, so *where* it runs (parent, worker, yesterday's
+  worker via the cache) cannot change its floats;
+* results are merged by submission index, never completion order;
+* a worker exception is captured per cell (traceback text in
+  :attr:`CellResult.error`); a hard worker crash (killed process)
+  surfaces as per-cell errors for the affected cells instead of a
+  hung or opaquely broken pool.
+
+The optional content-addressed :class:`~repro.parallel.cache.ResultCache`
+short-circuits cells whose (version, kind, name, kwargs, seed) address
+already has a stored result — a warm re-run of a sweep costs file
+reads only.
+
+Per-worker execution summaries (cells run, process/wall time) are
+folded into one :class:`SweepReport`, and — when a telemetry bus is
+passed — the sweep emits ``sweep``-category records so campaign-level
+orchestration is visible on the same bus as everything else.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.parallel.cache import ResultCache
+from repro.telemetry.bus import SWEEP
+
+#: Registered cell kinds: kind -> runner(job) returning either a
+#: ``dict`` of float metrics (cacheable) or an arbitrary picklable
+#: payload (fanned out but never cached).
+JOB_KINDS: Dict[str, Callable[["SweepJob"], Any]] = {}
+
+
+def register_job_kind(kind: str, runner: Callable[["SweepJob"], Any]) -> None:
+    """Register (or replace) the runner for a cell kind."""
+    JOB_KINDS[kind] = runner
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One picklable sweep cell: what to run, not how it was built."""
+
+    kind: str
+    name: str
+    seed: int
+    spec: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}:{self.name}@s{self.seed}"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell, in submission order."""
+
+    job: SweepJob
+    #: Float metrics (scenario/chaos cells); ``None`` for payload cells
+    #: and failed cells.
+    metrics: Optional[Dict[str, float]] = None
+    #: Arbitrary result object for registry-style cells.
+    payload: Any = None
+    cached: bool = False
+    error: Optional[str] = None
+    pid: int = 0
+    wall_s: float = 0.0
+    process_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepReport:
+    """Folded per-worker execution summary of one sweep."""
+
+    jobs: int = 0
+    executed: int = 0
+    cached: int = 0
+    errors: int = 0
+    workers: int = 1
+    wall_s: float = 0.0
+    #: Sum of per-cell process time measured *inside* the executing
+    #: process — under multiprocessing this is the number wall clock
+    #: cannot give you (children's CPU never shows in the parent's
+    #: ``time.process_time``).
+    cpu_s: float = 0.0
+    worker_cells: Dict[int, int] = field(default_factory=dict)
+    worker_cpu_s: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the pool kept busy (cpu_s / wall_s*workers)."""
+        if self.wall_s <= 0 or self.workers <= 0:
+            return 0.0
+        return self.cpu_s / (self.wall_s * self.workers)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "executed": self.executed,
+            "cached": self.cached,
+            "errors": self.errors,
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "utilization": self.utilization,
+            "worker_cells": {str(k): v for k, v in sorted(self.worker_cells.items())},
+            "worker_cpu_s": {
+                str(k): v for k, v in sorted(self.worker_cpu_s.items())
+            },
+        }
+
+    def render(self) -> str:
+        return (
+            f"sweep: {self.jobs} cells ({self.cached} cached, "
+            f"{self.executed} executed, {self.errors} errors) on "
+            f"{self.workers} worker(s) in {self.wall_s:.2f}s wall / "
+            f"{self.cpu_s:.2f}s cpu ({self.utilization * 100:.0f}% pool "
+            f"utilization)"
+        )
+
+
+@dataclass
+class SweepResult:
+    """All cell results (submission order) plus the folded report."""
+
+    cells: List[CellResult]
+    report: SweepReport
+
+    def values(self, metric: str) -> Tuple[float, ...]:
+        """The given metric across cells, submission order.
+
+        Raises :class:`ConfigError` if any cell failed or lacks it.
+        """
+        out = []
+        for cell in self.cells:
+            if cell.metrics is None or metric not in cell.metrics:
+                raise ConfigError(
+                    f"cell {cell.job.label} has no metric {metric!r} "
+                    f"(error: {cell.error or 'none'})"
+                )
+            out.append(cell.metrics[metric])
+        return tuple(out)
+
+    def failed(self) -> List[CellResult]:
+        return [c for c in self.cells if not c.ok]
+
+
+# -- worker entrypoint -------------------------------------------------------
+
+def _execute_job(job: SweepJob) -> Dict[str, Any]:
+    """Run one cell; returns a picklable result envelope.
+
+    This is the single execution path for serial *and* parallel runs —
+    the serial engine calls it in-process, the pool imports it by
+    reference — which is what makes "parallel equals serial" a
+    structural property rather than a testing aspiration.
+    """
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    envelope: Dict[str, Any] = {"pid": os.getpid()}
+    try:
+        runner = JOB_KINDS.get(job.kind)
+        if runner is None:
+            raise ConfigError(
+                f"unknown sweep job kind {job.kind!r} (have {sorted(JOB_KINDS)})"
+            )
+        out = runner(job)
+        if isinstance(out, Mapping):
+            envelope["metrics"] = dict(out)
+        else:
+            envelope["payload"] = out
+    except BaseException as exc:  # captured per-cell, reported upstream
+        envelope["error"] = (
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        )
+    envelope["process_s"] = time.process_time() - cpu0
+    envelope["wall_s"] = time.perf_counter() - wall0
+    return envelope
+
+
+# -- built-in cell kinds -----------------------------------------------------
+
+def _run_scenario_cell(job: SweepJob) -> Dict[str, float]:
+    """Rebuild + run one scenario replication cell from kwargs."""
+    from repro.experiments.scenarios import run_scenario
+
+    result = run_scenario(
+        f"{job.name}-s{job.seed}", seed=job.seed, **job.spec
+    )
+    b = result.breakdown
+    return {
+        "total_mean": b.total_mean,
+        "total_std": b.total_std,
+        "requests": float(b.n),
+    }
+
+
+def _run_chaos_cell(job: SweepJob) -> Dict[str, float]:
+    """Rebuild + run one chaos replication cell from kwargs."""
+    from repro.experiments.scenarios import run_chaos_scenario
+
+    chaos = run_chaos_scenario(job.name, seed=job.seed, **job.spec)
+    report = chaos.report
+    worst = report.worst_ttr_ms
+    return {
+        "excursion_us_s": report.total_excursion_us_s,
+        "worst_ttr_ms": float("inf") if worst is None else worst,
+        "recovered": 1.0 if report.recovered_all else 0.0,
+    }
+
+
+def _run_registry_cell(job: SweepJob) -> Any:
+    """Run one experiment-registry cell (figure or ablation)."""
+    registry_name = job.spec.get("registry")
+    if registry_name == "figures":
+        from repro.experiments.figures import ALL_FIGURES as registry
+    elif registry_name == "ablations":
+        from repro.experiments.ablations import ALL_ABLATIONS as registry
+    else:
+        raise ConfigError(f"unknown experiment registry {registry_name!r}")
+    try:
+        fn = registry[job.name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {job.name!r} in registry {registry_name!r}"
+        ) from None
+    scale = job.spec.get("scale")
+    if scale:
+        os.environ["REPRO_SCALE"] = scale
+    return fn(seed=job.seed)
+
+
+register_job_kind("scenario", _run_scenario_cell)
+register_job_kind("chaos", _run_chaos_cell)
+register_job_kind("registry", _run_registry_cell)
+
+
+# -- the engine --------------------------------------------------------------
+
+def _as_cache(cache) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _mp_context():
+    """Fork when available: workers inherit registered job kinds and
+    imported modules (spawn would re-import a bare interpreter)."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_sweep(
+    jobs: Sequence[SweepJob],
+    *,
+    workers: int = 1,
+    cache=None,
+    telemetry=None,
+    logger=None,
+) -> SweepResult:
+    """Run every cell; merge results in submission order.
+
+    ``workers`` is the process-pool width (1 = in-process serial
+    execution through the very same cell entrypoint).  ``cache`` is a
+    :class:`ResultCache`, a directory path, or ``None``; cached cells
+    are served without touching the pool.  ``telemetry`` is an
+    optional :class:`~repro.telemetry.TelemetryBus` the sweep reports
+    orchestration records to (timestamps are wall-clock nanoseconds
+    since sweep start — sweeps happen in real time, not sim time).
+    """
+    jobs = list(jobs)
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    store = _as_cache(cache)
+    report = SweepReport(jobs=len(jobs))
+    cells: List[Optional[CellResult]] = [None] * len(jobs)
+    wall0 = time.perf_counter()
+
+    def _emit(cell: CellResult) -> None:
+        if telemetry is not None and telemetry.enabled:
+            telemetry.event(
+                SWEEP,
+                "cell",
+                int((time.perf_counter() - wall0) * 1e9),
+                lane=f"worker-{cell.pid}" if cell.pid else "cache",
+                job=cell.job.label,
+                cached=cell.cached,
+                ok=cell.ok,
+                wall_s=cell.wall_s,
+            )
+
+    # 1. serve cache hits, collect pending cells.
+    pending: List[Tuple[int, SweepJob, Optional[str]]] = []
+    for idx, job in enumerate(jobs):
+        key = (
+            store.key(job.kind, job.name, job.seed, job.spec)
+            if store is not None
+            else None
+        )
+        if key is not None:
+            hit = store.load(key)
+            if hit is not None:
+                cell = CellResult(job=job, metrics=hit, cached=True)
+                cells[idx] = cell
+                report.cached += 1
+                _emit(cell)
+                continue
+        pending.append((idx, job, key))
+
+    # 2. execute the rest — one entrypoint, in-process or pooled.
+    def _finish(idx: int, job: SweepJob, key: Optional[str], envelope: Dict[str, Any]) -> None:
+        cell = CellResult(
+            job=job,
+            metrics=envelope.get("metrics"),
+            payload=envelope.get("payload"),
+            error=envelope.get("error"),
+            pid=envelope.get("pid", 0),
+            wall_s=envelope.get("wall_s", 0.0),
+            process_s=envelope.get("process_s", 0.0),
+        )
+        cells[idx] = cell
+        report.executed += 1
+        if cell.error is not None:
+            report.errors += 1
+        elif key is not None and cell.metrics is not None and store is not None:
+            store.store(key, cell.metrics, meta={"job": cell.job.label})
+        report.cpu_s += cell.process_s
+        if cell.pid:
+            report.worker_cells[cell.pid] = report.worker_cells.get(cell.pid, 0) + 1
+            report.worker_cpu_s[cell.pid] = (
+                report.worker_cpu_s.get(cell.pid, 0.0) + cell.process_s
+            )
+        _emit(cell)
+        if logger is not None:
+            status = "error" if cell.error else "ok"
+            logger.debug(
+                f"sweep cell {cell.job.label}: {status} "
+                f"({cell.wall_s:.2f}s wall, pid {cell.pid})"
+            )
+
+    pool_width = min(workers, max(len(pending), 1))
+    report.workers = pool_width
+    if pending and pool_width == 1:
+        for idx, job, key in pending:
+            _finish(idx, job, key, _execute_job(job))
+    elif pending:
+        with ProcessPoolExecutor(
+            max_workers=pool_width, mp_context=_mp_context()
+        ) as pool:
+            futures = [
+                (idx, job, key, pool.submit(_execute_job, job))
+                for idx, job, key in pending
+            ]
+            for idx, job, key, future in futures:
+                try:
+                    envelope = future.result()
+                except BrokenProcessPool as exc:
+                    envelope = {
+                        "error": (
+                            "worker process died while this cell was in "
+                            f"flight (or queued behind the crash): {exc!r}"
+                        ),
+                        "pid": 0,
+                    }
+                except BaseException as exc:  # cancelled / unpicklable result
+                    envelope = {
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "pid": 0,
+                    }
+                _finish(idx, job, key, envelope)
+
+    report.wall_s = time.perf_counter() - wall0
+    if telemetry is not None and telemetry.enabled:
+        ts = int(report.wall_s * 1e9)
+        telemetry.counter(SWEEP, "cells", ts, float(report.jobs))
+        telemetry.counter(SWEEP, "cache_hits", ts, float(report.cached))
+        telemetry.counter(SWEEP, "errors", ts, float(report.errors))
+    if logger is not None:
+        logger.debug(report.render())
+    return SweepResult(cells=list(cells), report=report)  # type: ignore[arg-type]

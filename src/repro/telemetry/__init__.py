@@ -32,6 +32,7 @@ from repro.telemetry.bus import (
     NULL_BUS,
     RESEX,
     SPAN,
+    SWEEP,
     NullTelemetryBus,
     TelemetryBus,
     TraceRecord,
@@ -64,6 +65,7 @@ __all__ = [
     "QUIET",
     "RESEX",
     "SPAN",
+    "SWEEP",
     "VERBOSE",
     "NullTelemetryBus",
     "TelemetryBus",

@@ -42,6 +42,11 @@ IBMON = "ibmon"
 RESEX = "resex"
 BENCHEX = "benchex"
 FAULTS = "faults"
+#: Sweep-orchestration records (repro.parallel).  Unlike the layers
+#: above, these are stamped with wall-clock nanoseconds since sweep
+#: start — experiment orchestration happens in real time, not in any
+#: one simulation's clock.
+SWEEP = "sweep"
 
 #: How often (in processed events) the kernel emits queue-depth
 #: counters when tracing is on.  Keeps the kernel layer visible in

@@ -99,6 +99,94 @@ class TestScenarioCommand:
         assert "cap=12" in capsys.readouterr().out
 
 
+class TestParseSeeds:
+    def test_count(self):
+        from repro.cli import _parse_seeds
+
+        assert _parse_seeds("4") == [0, 1, 2, 3]
+
+    def test_range(self):
+        from repro.cli import _parse_seeds
+
+        assert _parse_seeds("3:6") == [3, 4, 5]
+
+    def test_list(self):
+        from repro.cli import _parse_seeds
+
+        assert _parse_seeds("1,5,9") == [1, 5, 9]
+
+    @pytest.mark.parametrize("text", ["", "x", "4:", "0"])
+    def test_garbage_raises(self, text):
+        import argparse
+
+        from repro.cli import _parse_seeds
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_seeds(text)
+
+
+class TestSweepCommand:
+    def test_json_sweep_smoke(self, capsys):
+        import json
+
+        assert main(
+            ["sweep", "--seeds", "2", "--sim-s", "0.2", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["seeds"] == [0, 1]
+        metrics = doc["metrics"]["total_mean"]
+        assert len(metrics["values"]) == 2
+        assert metrics["values"][0] != metrics["values"][1]
+        assert doc["report"]["jobs"] == 2
+
+    def test_parallel_equals_serial_and_cache_warms(self, capsys, tmp_path):
+        import json
+
+        base = ["sweep", "--seeds", "2", "--sim-s", "0.2", "--json"]
+        assert main(base) == 0
+        serial = json.loads(capsys.readouterr().out)
+
+        cached = base + ["--jobs", "2", "--cache-dir", str(tmp_path / "c")]
+        assert main(cached) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(cached) == 0
+        warm = json.loads(capsys.readouterr().out)
+
+        assert (
+            serial["metrics"]["total_mean"]["values"]
+            == cold["metrics"]["total_mean"]["values"]
+            == warm["metrics"]["total_mean"]["values"]
+        )
+        assert cold["report"]["cached"] == 0
+        assert warm["report"]["cached"] == 2
+
+    def test_no_cache_overrides_cache_dir(self, capsys, tmp_path):
+        import json
+
+        args = [
+            "sweep",
+            "--seeds",
+            "1",
+            "--sim-s",
+            "0.2",
+            "--json",
+            "--cache-dir",
+            str(tmp_path),
+            "--no-cache",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["report"]["cached"] == 0
+
+    def test_table_output(self, capsys):
+        assert main(["sweep", "--seeds", "2", "--sim-s", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "total_mean" in out
+        assert "sweep:" in out  # the folded SweepReport line
+
+
 class TestPoliciesCommand:
     def test_lists_builtins(self, capsys):
         assert main(["policies"]) == 0
