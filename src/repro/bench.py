@@ -188,6 +188,59 @@ def sweep_replication(
     }
 
 
+def invariants_record(sim_s: float = 0.2, rounds: int = 5) -> Dict[str, Any]:
+    """Runtime invariant guards: record-mode overhead vs guards off.
+
+    Runs the managed headline scenario with the invariant monitor off
+    and again in ``record`` mode, interleaved A/B over ``rounds``
+    rounds so host drift cancels.  The statistic that matters is
+    ``record_overhead`` (best-of process-time ratio): the acceptance
+    bar for the supervised runtime is <= 5% overhead with guards
+    recording.  ``tainted`` must be False — a healthy run never trips
+    a guard.
+    """
+    from repro.benchex import BenchExConfig
+    from repro.experiments import run_scenario
+    from repro.sim import invariants
+    from repro.units import MiB
+
+    def one(mode: Optional[str]) -> float:
+        cpu0 = time.process_time()
+        if mode is None:
+            run_scenario(
+                "bench-inv",
+                interferer=BenchExConfig(name="interferer", buffer_bytes=2 * MiB),
+                policy="ioshares",
+                sim_s=sim_s,
+                seed=7,
+            )
+        else:
+            with invariants.activate(mode) as mon:
+                run_scenario(
+                    "bench-inv",
+                    interferer=BenchExConfig(name="interferer", buffer_bytes=2 * MiB),
+                    policy="ioshares",
+                    sim_s=sim_s,
+                    seed=7,
+                )
+            one.tainted = one.tainted or mon.tainted
+        return time.process_time() - cpu0
+
+    one.tainted = False
+    off_runs, rec_runs = [], []
+    for _ in range(max(rounds, 1)):
+        off_runs.append(one(None))
+        rec_runs.append(one("record"))
+    best_off, best_rec = min(off_runs), min(rec_runs)
+    return {
+        "sim_s": sim_s,
+        "off_process_s": round(best_off, 4),
+        "record_process_s": round(best_rec, 4),
+        "record_overhead": round(best_rec / best_off - 1.0, 4),
+        "tainted": one.tainted,
+    }
+
+
 #: name -> (workload, one-line description).
 WORKLOADS: Dict[str, Tuple[Callable[[], Dict[str, Any]], str]] = {
     "headline_managed": (
@@ -208,6 +261,10 @@ WORKLOADS: Dict[str, Tuple[Callable[[], Dict[str, Any]], str]] = {
     "sweep_replication": (
         sweep_replication,
         "16-seed replication sweep: serial vs 4-worker pool vs warm cache",
+    ),
+    "invariants_record": (
+        invariants_record,
+        "managed scenario A/B: invariant guards off vs record mode",
     ),
 }
 

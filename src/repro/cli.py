@@ -23,9 +23,19 @@ import sys
 from typing import List, Optional
 
 from repro._version import __version__
+from repro.errors import ReproError
 from repro.telemetry import configure as configure_logging
 from repro.telemetry import get_logger
 from repro.units import KiB, MiB
+
+
+def _invariant_scope(mode: str):
+    """A context manager activating invariant guards for a command."""
+    from contextlib import nullcontext
+
+    from repro.sim import invariants
+
+    return invariants.activate(mode) if mode != "off" else nullcontext()
 
 
 def _parse_size(text: str) -> int:
@@ -137,15 +147,22 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             buffer_bytes=args.interferer,
             pipeline_depth=args.interferer_depth,
         )
-    result = run_scenario(
-        "cli",
-        interferer=interferer,
-        policy=args.policy,
-        manual_cap=args.cap,
-        n_servers=args.servers,
-        sim_s=args.sim_s,
-        seed=args.seed,
-    )
+    with _invariant_scope(args.invariants) as monitor:
+        result = run_scenario(
+            "cli",
+            interferer=interferer,
+            policy=args.policy,
+            manual_cap=args.cap,
+            n_servers=args.servers,
+            sim_s=args.sim_s,
+            seed=args.seed,
+        )
+    if monitor is not None and monitor.tainted:
+        log = get_logger()
+        log.warning(
+            f"invariant guards recorded {len(monitor.violations)} "
+            f"violation(s); results are tainted"
+        )
     b = result.breakdown
     print(
         render_table(
@@ -318,20 +335,34 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"running chaos scenario {args.scenario!r} "
         f"(campaign={campaign.name}, sim_s={args.sim_s})"
     )
-    chaos = run_chaos_scenario(
-        args.scenario,
-        campaign=campaign,
-        sim_s=args.sim_s,
-        seed=args.seed,
-        telemetry=bus,
-        **overrides,
-    )
+    with _invariant_scope(args.invariants) as monitor:
+        chaos = run_chaos_scenario(
+            args.scenario,
+            campaign=campaign,
+            sim_s=args.sim_s,
+            seed=args.seed,
+            telemetry=bus,
+            **overrides,
+        )
+    tainted = monitor is not None and monitor.tainted
     if args.json:
         import json
 
-        print(json.dumps(chaos.report.to_dict(), indent=2, sort_keys=True))
+        doc = chaos.report.to_dict()
+        if monitor is not None:
+            doc["integrity"] = {
+                "tainted": tainted,
+                "invariant_mode": args.invariants,
+                "violations": monitor.to_dicts(),
+            }
+        print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(chaos.report.render())
+    if tainted:
+        log.warning(
+            f"invariant guards recorded {len(monitor.violations)} "
+            f"violation(s); results are tainted"
+        )
     if args.trace:
         out = pathlib.Path(args.trace)
         n = write_chrome_trace(out, bus)
@@ -386,8 +417,44 @@ def _parse_seeds(text: str) -> List[int]:
     return seeds
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _metrics_json(metrics: dict) -> dict:
+    return {
+        key: {
+            "values": list(rep.values),
+            "mean": rep.mean,
+            "std": rep.std,
+            "median": rep.median,
+            "ci95_halfwidth": rep.ci95_halfwidth(),
+            "n_nonfinite": rep.n_nonfinite,
+        }
+        for key, rep in metrics.items()
+    }
+
+
+def _render_metrics_table(metrics: dict, title: str) -> str:
     from repro.analysis import render_table
+
+    rows = [
+        [
+            key,
+            rep.mean,
+            rep.ci95_halfwidth(),
+            rep.median,
+            rep.minimum,
+            rep.maximum,
+            float(rep.n_nonfinite),
+        ]
+        for key, rep in metrics.items()
+    ]
+    return render_table(
+        ["metric", "mean", "ci95", "median", "min", "max", "n inf"],
+        rows,
+        title=title,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import SweepError
     from repro.experiments.multiseed import (
         CHAOS_METRICS,
         sweep_chaos,
@@ -406,25 +473,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.policy is not None:
         kwargs["policy"] = args.policy or None
 
+    if args.supervise or args.resume:
+        return _run_supervised_sweep(args, cache, kwargs, log)
+
     log.debug(
         f"sweeping {args.name!r} over {len(args.seeds)} seeds "
         f"(jobs={args.jobs}, cache={cache or 'off'})"
     )
-    if args.campaign:
-        replications, report = sweep_chaos(
-            args.name,
-            args.seeds,
-            campaign=args.campaign,
-            jobs=args.jobs,
-            cache=cache,
-            **kwargs,
-        )
-        metrics = {m: replications[m] for m in CHAOS_METRICS}
-    else:
-        replication, report = sweep_scenario(
-            args.name, args.seeds, jobs=args.jobs, cache=cache, **kwargs
-        )
-        metrics = {"total_mean": replication}
+    try:
+        with _invariant_scope(args.invariants):
+            if args.campaign:
+                replications, report = sweep_chaos(
+                    args.name,
+                    args.seeds,
+                    campaign=args.campaign,
+                    jobs=args.jobs,
+                    cache=cache,
+                    **kwargs,
+                )
+                metrics = {m: replications[m] for m in CHAOS_METRICS}
+            else:
+                replication, report = sweep_scenario(
+                    args.name, args.seeds, jobs=args.jobs, cache=cache, **kwargs
+                )
+                metrics = {"total_mean": replication}
+    except SweepError as exc:
+        if args.json:
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        "error": str(exc).splitlines()[0],
+                        "code": exc.code,
+                        "cell_errors": [
+                            {
+                                "label": label,
+                                "error": err.splitlines()[0] if err else "",
+                            }
+                            for label, err in exc.cell_errors
+                        ],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return exc.exit_code
+        raise
 
     if args.json:
         import json
@@ -434,45 +529,143 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "campaign": args.campaign,
             "seeds": args.seeds,
             "jobs": args.jobs,
-            "metrics": {
-                key: {
-                    "values": list(rep.values),
-                    "mean": rep.mean,
-                    "std": rep.std,
-                    "median": rep.median,
-                    "ci95_halfwidth": rep.ci95_halfwidth(),
-                    "n_nonfinite": rep.n_nonfinite,
-                }
-                for key, rep in metrics.items()
-            },
+            "metrics": _metrics_json(metrics),
             "report": report.to_dict(),
         }
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
-        rows = [
-            [
-                key,
-                rep.mean,
-                rep.ci95_halfwidth(),
-                rep.median,
-                rep.minimum,
-                rep.maximum,
-                float(rep.n_nonfinite),
-            ]
-            for key, rep in metrics.items()
-        ]
         print(
-            render_table(
-                ["metric", "mean", "ci95", "median", "min", "max", "n inf"],
-                rows,
-                title=(
-                    f"sweep {args.name!r} x{len(args.seeds)} seeds"
-                    + (f" (campaign {args.campaign})" if args.campaign else "")
-                ),
+            _render_metrics_table(
+                metrics,
+                f"sweep {args.name!r} x{len(args.seeds)} seeds"
+                + (f" (campaign {args.campaign})" if args.campaign else ""),
             )
         )
         print(report.render())
     return 0
+
+
+def _run_supervised_sweep(
+    args: argparse.Namespace, cache, kwargs: dict, log
+) -> int:
+    """``repro sweep --supervise`` / ``--resume``: the watchdog runtime."""
+    from repro.errors import SweepError
+    from repro.experiments.multiseed import CHAOS_METRICS, Replication
+    from repro.parallel import SweepJob
+    from repro.supervise import (
+        SupervisePolicy,
+        resume_sweep,
+        supervised_sweep,
+    )
+
+    policy = SupervisePolicy(
+        timeout_s=args.timeout_s,
+        stall_s=args.stall_s,
+        retries=args.retries,
+    )
+    if args.resume:
+        log.debug(f"resuming run {args.resume} from {args.run_dir}...")
+        sup = resume_sweep(
+            args.resume,
+            run_dir=args.run_dir,
+            policy=policy,
+            workers=args.jobs,
+            cache=cache,
+            logger=log,
+            retry_quarantined=args.retry_quarantined,
+        )
+    else:
+        if args.campaign:
+            spec = dict(kwargs)
+            spec["campaign"] = args.campaign
+            jobs = [
+                SweepJob("chaos", args.name, int(s), spec) for s in args.seeds
+            ]
+        else:
+            jobs = [
+                SweepJob("scenario", args.name, int(s), dict(kwargs))
+                for s in args.seeds
+            ]
+        log.debug(
+            f"supervised sweep of {len(jobs)} cells "
+            f"(jobs={args.jobs}, retries={policy.retries}, "
+            f"timeout={policy.timeout_s or 'off'}, "
+            f"stall={policy.stall_s or 'off'}, "
+            f"invariants={args.invariants})"
+        )
+        sup = supervised_sweep(
+            jobs,
+            run_dir=args.run_dir,
+            run_id=args.run_id,
+            policy=policy,
+            workers=args.jobs,
+            cache=cache,
+            logger=log,
+            invariant_mode=args.invariants,
+        )
+    log.info(f"run {sup.run_id}: manifest at {sup.manifest_path}")
+
+    chaos = any(c.job.kind == "chaos" for c in sup.cells)
+    metric_names = CHAOS_METRICS if chaos else ("total_mean",)
+    metrics = {}
+    if sup.complete:
+        seeds = tuple(c.job.seed for c in sup.cells)
+        for m in metric_names:
+            metrics[m] = Replication(
+                name=m,
+                seeds=seeds,
+                values=tuple(c.metrics[m] for c in sup.cells),
+            )
+
+    integrity = sup.integrity()
+    if args.json:
+        import json
+
+        doc = {
+            "name": args.name,
+            "campaign": args.campaign,
+            "jobs": args.jobs,
+            "run_id": sup.run_id,
+            "metrics": _metrics_json(metrics),
+            "report": sup.report.to_dict(),
+            "integrity": integrity,
+            "cell_errors": [
+                {
+                    "label": c.job.label,
+                    "attempts": c.attempts,
+                    "code": c.error_code,
+                    "error": (c.error or "").splitlines()[0],
+                }
+                for c in sup.cells
+                if not c.ok
+            ],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        if metrics:
+            print(
+                _render_metrics_table(
+                    metrics,
+                    f"supervised sweep {args.name!r} ({len(sup.cells)} cells)"
+                    + (f" (campaign {args.campaign})" if args.campaign else ""),
+                )
+            )
+        print(sup.report.render())
+        print(
+            f"integrity: complete={integrity['complete']} "
+            f"done={integrity['done']}/{integrity['cells']} "
+            f"quarantined={integrity['quarantined']} "
+            f"tainted={integrity['tainted']} "
+            f"retried_attempts={integrity['retried_attempts']}"
+        )
+        for c in sup.cells:
+            if not c.ok:
+                print(
+                    f"  quarantined {c.job.label} "
+                    f"[{c.error_code}, {c.attempts} attempt(s)]: "
+                    f"{(c.error or '').splitlines()[0]}"
+                )
+    return 0 if sup.complete else SweepError.exit_code
 
 
 def _cmd_policies(_args: argparse.Namespace) -> int:
@@ -561,6 +754,13 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--servers", type=int, default=1)
     scenario.add_argument("--sim-s", type=float, default=1.0)
     scenario.add_argument("--seed", type=int, default=7)
+    scenario.add_argument(
+        "--invariants",
+        choices=["off", "record", "strict"],
+        default="off",
+        help="runtime invariant guards: record violations, or fail fast "
+        "on the first one (default off)",
+    )
     scenario.set_defaults(func=_cmd_scenario)
 
     trace = sub.add_parser(
@@ -639,6 +839,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--policy", help="override the preset's pricing policy")
     chaos.add_argument("--sim-s", type=float, default=1.5)
     chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--invariants",
+        choices=["off", "record", "strict"],
+        default="off",
+        help="runtime invariant guards: record violations, or fail fast "
+        "on the first one (default off)",
+    )
     chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser(
@@ -745,6 +952,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="pricing policy name (see 'repro policies'); omit for none",
     )
     sweep.add_argument("--sim-s", type=float, default=1.0)
+    sweep.add_argument(
+        "--invariants",
+        choices=["off", "record", "strict"],
+        default="off",
+        help="runtime invariant guards in every cell: record marks "
+        "violating cells tainted, strict quarantines them (default off)",
+    )
+    supervise = sweep.add_argument_group(
+        "supervision",
+        "watchdogs, retries and checkpoint/resume (repro.supervise); "
+        "every state transition is appended to "
+        "<run-dir>/<run-id>/manifest.jsonl, so a killed sweep resumes "
+        "with --resume <run-id> to a byte-identical report",
+    )
+    supervise.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run cells under the supervised runtime",
+    )
+    supervise.add_argument(
+        "--run-dir",
+        default="runs",
+        help="campaign directory holding per-run manifests (default runs/)",
+    )
+    supervise.add_argument(
+        "--run-id",
+        help="explicit run identifier (default: a fresh timestamped id)",
+    )
+    supervise.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        help="resume an interrupted run from its manifest (implies "
+        "--supervise); completed cells are served from the ledger",
+    )
+    supervise.add_argument(
+        "--retry-quarantined",
+        action="store_true",
+        help="with --resume, give quarantined cells a fresh retry budget",
+    )
+    supervise.add_argument(
+        "--timeout-s",
+        type=float,
+        default=0.0,
+        help="per-cell wall-clock budget; 0 disables (default)",
+    )
+    supervise.add_argument(
+        "--stall-s",
+        type=float,
+        default=0.0,
+        help="kill a cell whose simulation makes no event progress for "
+        "this long; 0 disables (default)",
+    )
+    supervise.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries per failed cell before quarantine (default 1)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     return parser
@@ -756,7 +1021,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.quiet and args.verbose:
         parser.error("--quiet and --verbose are mutually exclusive")
     configure_logging(quiet=args.quiet, verbose=args.verbose)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Structured errors map to stable exit codes (see repro.errors):
+        # config 2, sweep 3, invariant 4, cache corruption 5.
+        print(f"repro: error [{exc.code}]: {exc}", file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,6 +2,12 @@
 
 Every layer raises a subclass of :class:`ReproError` so callers can
 catch simulation-level failures without masking programming errors.
+
+Each class carries a stable machine-readable :attr:`ReproError.code`
+(used in manifests, telemetry records and ``--json`` error summaries)
+and an :attr:`ReproError.exit_code` the CLI maps process exit statuses
+from, so scripts can distinguish "a sweep cell failed" from "bad
+arguments" without parsing stderr.
 """
 
 from __future__ import annotations
@@ -10,9 +16,16 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
+    #: Stable machine-readable identifier for this error family.
+    code: str = "error"
+    #: Process exit status the CLI maps this error to.
+    exit_code: int = 1
+
 
 class SimulationError(ReproError):
     """Errors raised by the discrete-event kernel."""
+
+    code = "simulation"
 
 
 class StopSimulation(Exception):
@@ -26,53 +39,80 @@ class StopSimulation(Exception):
 class ConfigError(ReproError):
     """Invalid configuration value."""
 
+    code = "config"
+    exit_code = 2
+
 
 class FabricError(ReproError):
     """Errors from the InfiniBand / link models."""
+
+    code = "fabric"
 
 
 class ProtectionFault(FabricError):
     """A work request referenced memory with a bad or mismatched key."""
 
+    code = "fabric-protection"
+
 
 class QPError(FabricError):
     """Queue-pair state machine violation (e.g. posting to a RESET QP)."""
+
+    code = "fabric-qp"
 
 
 class CQOverflowError(FabricError):
     """Completion queue ring overflow (CQEs produced faster than consumed)."""
 
+    code = "fabric-cq-overflow"
+
 
 class HypervisorError(ReproError):
     """Errors from the Xen-like hypervisor substrate."""
+
+    code = "hypervisor"
 
 
 class SchedulerError(HypervisorError):
     """Credit-scheduler invariant violation or invalid cap/weight."""
 
+    code = "scheduler"
+
 
 class IntrospectionError(HypervisorError):
     """Foreign page mapping failure (bad domain, unmapped page, ...)."""
+
+    code = "introspection"
 
 
 class ResExError(ReproError):
     """Errors from the ResEx controller / pricing policies."""
 
+    code = "resex"
+
 
 class PricingError(ResExError):
     """Invalid pricing-policy configuration or rate computation."""
+
+    code = "pricing"
 
 
 class BenchmarkError(ReproError):
     """Errors from BenchEx workload components."""
 
+    code = "benchmark"
+
 
 class FaultError(ReproError):
     """Invalid fault specification or campaign (repro.faults)."""
 
+    code = "fault"
+
 
 class FinanceError(ReproError):
     """Errors from the financial algorithms library."""
+
+    code = "finance"
 
 
 class SweepError(ReproError):
@@ -84,7 +124,103 @@ class SweepError(ReproError):
     seed) cell instead of surfacing as a broken pool.
     """
 
+    code = "sweep-failed"
+    exit_code = 3
+
     def __init__(self, message: str, cell_errors=()):
         super().__init__(message)
         #: ``(job_label, error_text)`` pairs, submission order.
         self.cell_errors = tuple(cell_errors)
+
+
+class CellTimeout(SweepError):
+    """A supervised sweep cell exceeded its watchdog budget.
+
+    Covers both failure shapes the supervisor distinguishes: a
+    wall-clock timeout (the cell ran too long in real time) and a
+    stall (the worker's heartbeat showed no sim-event progress across
+    the stall window).  :attr:`kind` says which.
+    """
+
+    code = "cell-timeout"
+    exit_code = 3
+
+    def __init__(self, message: str, kind: str = "timeout"):
+        super().__init__(message)
+        #: ``"timeout"`` or ``"stall"``.
+        self.kind = kind
+
+
+class InvariantViolation(ReproError):
+    """A runtime model invariant was violated (strict mode).
+
+    Structured: carries the registered guard name, the layer category,
+    the simulation time of the violation and a details mapping — the
+    same fields a ``record``-mode monitor logs without raising (see
+    :mod:`repro.sim.invariants`).
+    """
+
+    code = "invariant"
+    exit_code = 4
+
+    def __init__(
+        self,
+        guard: str,
+        message: str,
+        *,
+        category: str = "",
+        ts_ns: int = -1,
+        details=None,
+    ):
+        super().__init__(f"{guard}: {message}")
+        self.guard = guard
+        self.category = category
+        self.ts_ns = ts_ns
+        self.details = dict(details or {})
+
+
+class CacheCorruption(ReproError):
+    """A content-addressed cache entry is unreadable or mis-shaped.
+
+    The cache layer handles this internally (corrupt entries are
+    deleted and treated as misses), so it escapes only from strict
+    verification paths.
+    """
+
+    code = "cache-corrupt"
+    exit_code = 5
+
+
+class Uncacheable(ReproError):
+    """A job spec contains values with no canonical encoding.
+
+    Historically defined in :mod:`repro.parallel.cache` (still
+    re-exported there); the engine treats it as "run this cell
+    uncached", never as a failure.
+    """
+
+    code = "uncacheable"
+
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ConfigError",
+    "FabricError",
+    "ProtectionFault",
+    "QPError",
+    "CQOverflowError",
+    "HypervisorError",
+    "SchedulerError",
+    "IntrospectionError",
+    "ResExError",
+    "PricingError",
+    "BenchmarkError",
+    "FaultError",
+    "FinanceError",
+    "SweepError",
+    "CellTimeout",
+    "InvariantViolation",
+    "CacheCorruption",
+    "Uncacheable",
+]

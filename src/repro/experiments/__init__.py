@@ -16,6 +16,7 @@ from repro.experiments.suite import (
     run_figure_set,
     run_registry_set,
 )
+from repro.supervise import resume_sweep, supervised_sweep
 from repro.experiments.platform import Node, Testbed
 from repro.experiments.scenarios import (
     CHAOS_SCENARIOS,
@@ -46,12 +47,14 @@ __all__ = [
     "replicate_chaos",
     "replicate_comparison",
     "replicate_scenario",
+    "resume_sweep",
     "run_ablation_set",
     "run_chaos_scenario",
     "run_figure_set",
     "run_registry_set",
     "run_scenario",
     "scale_factor",
+    "supervised_sweep",
     "sweep_chaos",
     "sweep_comparison",
     "sweep_scenario",

@@ -20,8 +20,10 @@ import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FabricError
+from repro.sim import invariants
 from repro.sim.core import Environment
 from repro.sim.events import Event
+from repro.sim.invariants import check_fabric_rates
 from repro.units import SEC, KiB
 
 #: Residual byte count below which a fluid transfer counts as finished.
@@ -138,7 +140,9 @@ class Transfer:
 
 
 def maxmin_rates(
-    transfers: Sequence[Transfer], capacity_of: Callable[[NetLink], float]
+    transfers: Sequence[Transfer],
+    capacity_of: Callable[[NetLink], float],
+    ts_ns: int = -1,
 ) -> Dict[Transfer, float]:
     """Progressive-filling *weighted* max-min fair allocation.
 
@@ -217,6 +221,12 @@ def maxmin_rates(
                 del unfrozen[t]
                 for link in t.path:
                     cap_left[link] = cap_left[link] - rate
+    # Runtime invariant guards (fabric.rate_nonnegative /
+    # fabric.link_capacity): off-mode costs one attribute load and
+    # branch; an enabled monitor re-walks the solution once.
+    inv = invariants.current()
+    if inv.enabled:
+        check_fabric_rates(inv, rates, capacity_of, ts_ns=ts_ns)
     return rates
 
 
@@ -398,7 +408,9 @@ class FluidFabric:
         if len(transfers) > _MEMO_MAX_TRANSFERS or not self._memo_enabled:
             # Too big (or proven not to recur): solve directly.
             rates = maxmin_rates(
-                transfers, lambda link: link.capacity_bytes_per_ns
+                transfers,
+                lambda link: link.capacity_bytes_per_ns,
+                ts_ns=self.env.now,
             )
             return tuple(rates[t] for t in transfers)
         lookups = self._memo_lookups + 1
@@ -413,7 +425,9 @@ class FluidFabric:
             self._memo_enabled = False
             self._solve_cache.clear()
             rates = maxmin_rates(
-                transfers, lambda link: link.capacity_bytes_per_ns
+                transfers,
+                lambda link: link.capacity_bytes_per_ns,
+                ts_ns=self.env.now,
             )
             return tuple(rates[t] for t in transfers)
         tkey = []
@@ -432,7 +446,9 @@ class FluidFabric:
             self._memo_hits += 1
         else:
             rates = maxmin_rates(
-                transfers, lambda link: link.capacity_bytes_per_ns
+                transfers,
+                lambda link: link.capacity_bytes_per_ns,
+                ts_ns=self.env.now,
             )
             cached = tuple(rates[t] for t in transfers)
             if len(self._solve_cache) >= 4096:

@@ -27,27 +27,38 @@ Design points:
 * **Atomic, concurrent-safe writes.**  Payloads are written to a
   temp file and ``os.replace``d into place, so a parallel sweep (or
   two sweeps sharing a cache directory) never observes a torn file;
-  a corrupt or unreadable entry is treated as a miss and rewritten.
+  a corrupt, truncated or schema-mismatched entry is treated as a
+  miss, **deleted** (so it cannot re-trip every future sweep) and
+  reported through :attr:`ResultCache.on_corruption` — never a crash,
+  never a wrong hit.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
+import importlib
 import json
 import os
 import pathlib
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro._version import __version__
+from repro.errors import CacheCorruption, Uncacheable
 
 #: Payload schema identifier; bump when the stored document shape
 #: changes (also invalidates every existing entry, on purpose).
 CELL_SCHEMA = "repro-cell/1"
 
-
-class Uncacheable(Exception):
-    """A job spec contains values with no canonical encoding."""
+__all__ = [
+    "CELL_SCHEMA",
+    "ResultCache",
+    "Uncacheable",
+    "canonical",
+    "cell_key",
+    "uncanonical",
+]
 
 
 def canonical(obj: Any) -> Any:
@@ -95,6 +106,67 @@ def canonical(obj: Any) -> Any:
     raise Uncacheable(f"value {obj!r} of type {type(obj)} is not canonicalizable")
 
 
+def _resolve_qualname(qualname: str) -> type:
+    """``module.Qual.Name`` -> the class object, or raise CacheCorruption."""
+    module_name, _, attr_path = qualname.rpartition(".")
+    # Qualnames may nest (Outer.Inner); peel module segments until an
+    # importable module is found, then getattr down the remainder.
+    parts = qualname.split(".")
+    for split in range(len(parts) - 1, 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            obj: Any = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attr in parts[split:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            break
+        if isinstance(obj, type):
+            return obj
+        break
+    raise CacheCorruption(f"cannot resolve stored type {qualname!r}")
+
+
+def uncanonical(value: Any) -> Any:
+    """Rebuild a Python value from its :func:`canonical` encoding.
+
+    The inverse used by run-manifest replay: tagged dataclass/object
+    documents are re-instantiated by qualified name.  Lossy only where
+    ``canonical`` is (tuples come back as lists, non-string mapping
+    keys come back as strings); raises :class:`CacheCorruption` when a
+    stored type no longer resolves.
+    """
+    if isinstance(value, list):
+        return [uncanonical(v) for v in value]
+    if not isinstance(value, dict):
+        return value
+    if "__dataclass__" in value:
+        cls = _resolve_qualname(value["__dataclass__"])
+        fields = {k: uncanonical(v) for k, v in value.get("fields", {}).items()}
+        init_names = {
+            f.name for f in dataclasses.fields(cls) if f.init
+        }
+        try:
+            return cls(**{k: v for k, v in fields.items() if k in init_names})
+        except TypeError as exc:
+            raise CacheCorruption(
+                f"cannot rebuild dataclass {cls.__qualname__}: {exc}"
+            ) from None
+    if "__object__" in value:
+        cls = _resolve_qualname(value["__object__"])
+        obj = cls.__new__(cls)
+        state = value.get("state", {})
+        if not isinstance(state, dict):
+            raise CacheCorruption(
+                f"stored object state for {cls.__qualname__} is not a mapping"
+            )
+        obj.__dict__.update({k: uncanonical(v) for k, v in state.items()})
+        return obj
+    return {k: uncanonical(v) for k, v in value.items()}
+
+
 def cell_key(
     kind: str,
     name: str,
@@ -125,10 +197,21 @@ class ResultCache:
     directory listings sane for multi-thousand-cell sweeps).
     """
 
-    def __init__(self, root, version: str = __version__) -> None:
+    def __init__(
+        self,
+        root,
+        version: str = __version__,
+        on_corruption: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
         self.root = pathlib.Path(root)
         self.version = version
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Called as ``on_corruption(key, reason)`` whenever a corrupt
+        #: entry is dropped; defaults to a logger warning (the sweep
+        #: engine wires a telemetry emitter in).
+        self.on_corruption = on_corruption
+        #: Corrupt entries dropped over this cache's lifetime.
+        self.corrupt_dropped = 0
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
@@ -141,17 +224,61 @@ class ResultCache:
             return None
 
     def load(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored metrics payload, or ``None`` on miss/corruption."""
+        """The stored metrics payload, or ``None`` on miss/corruption.
+
+        A genuinely absent entry is a plain miss.  An entry that exists
+        but cannot be realized — unreadable, truncated/invalid JSON,
+        wrong schema, mis-shaped payload — is *deleted* and reported
+        through :attr:`on_corruption`, then treated as a miss: the
+        cell recomputes and the rewritten entry heals the cache.
+        """
         path = self._path(key)
+        try:
+            return self._read_entry(path)
+        except FileNotFoundError:
+            return None
+        except CacheCorruption as exc:
+            self._drop_corrupt(path, key, str(exc))
+            return None
+
+    def _read_entry(self, path: pathlib.Path) -> Dict[str, Any]:
+        """Read and validate one entry; raises :class:`CacheCorruption`
+        for anything other than a clean hit or a clean miss."""
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 doc = json.load(fh)
-        except (OSError, ValueError):
-            return None
-        if doc.get("schema") != CELL_SCHEMA:
-            return None
+        except OSError as exc:
+            if exc.errno == errno.ENOENT:
+                raise FileNotFoundError(path) from None
+            raise CacheCorruption(f"unreadable entry: {exc}") from None
+        except ValueError as exc:
+            raise CacheCorruption(f"invalid JSON: {exc}") from None
+        if not isinstance(doc, dict) or doc.get("schema") != CELL_SCHEMA:
+            got = doc.get("schema") if isinstance(doc, dict) else type(doc).__name__
+            raise CacheCorruption(
+                f"schema mismatch: expected {CELL_SCHEMA!r}, got {got!r}"
+            )
         metrics = doc.get("metrics")
-        return metrics if isinstance(metrics, dict) else None
+        if not isinstance(metrics, dict):
+            raise CacheCorruption(
+                f"metrics payload is {type(metrics).__name__}, not a mapping"
+            )
+        return metrics
+
+    def _drop_corrupt(self, path: pathlib.Path, key: str, reason: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:  # already gone or unremovable: miss either way
+            pass
+        self.corrupt_dropped += 1
+        if self.on_corruption is not None:
+            self.on_corruption(key, reason)
+        else:
+            from repro.telemetry import get_logger
+
+            get_logger().warning(
+                f"dropped corrupt cache entry {key[:12]}...: {reason}"
+            )
 
     def store(self, key: str, metrics: Dict[str, Any], meta: Optional[Dict[str, Any]] = None) -> None:
         """Atomically persist ``metrics`` under ``key``."""

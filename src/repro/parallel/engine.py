@@ -39,8 +39,9 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
 from repro.parallel.cache import ResultCache
+from repro.sim import invariants as _invariants
 from repro.telemetry.bus import SWEEP
 
 #: Registered cell kinds: kind -> runner(job) returning either a
@@ -80,6 +81,19 @@ class CellResult:
     payload: Any = None
     cached: bool = False
     error: Optional[str] = None
+    #: Stable machine-readable error code (``ReproError.code``) when the
+    #: failure was a structured repro error; ``"error"`` otherwise.
+    error_code: Optional[str] = None
+    #: True when the cell completed but a runtime invariant guard fired
+    #: in ``record`` mode — the numbers exist but are suspect, and the
+    #: cell is excluded from the result cache.
+    tainted: bool = False
+    #: Recorded invariant violations (plain dicts, see
+    #: :meth:`repro.sim.invariants.Violation.to_dict`).
+    violations: Tuple[Dict[str, Any], ...] = ()
+    #: Attempts it took to conclude this cell (supervised runs retry;
+    #: the plain engine always concludes on attempt 1).
+    attempts: int = 1
     pid: int = 0
     wall_s: float = 0.0
     process_s: float = 0.0
@@ -97,6 +111,8 @@ class SweepReport:
     executed: int = 0
     cached: int = 0
     errors: int = 0
+    #: Cells that completed but tripped a runtime invariant guard.
+    tainted: int = 0
     workers: int = 1
     wall_s: float = 0.0
     #: Sum of per-cell process time measured *inside* the executing
@@ -120,6 +136,7 @@ class SweepReport:
             "executed": self.executed,
             "cached": self.cached,
             "errors": self.errors,
+            "tainted": self.tainted,
             "workers": self.workers,
             "wall_s": self.wall_s,
             "cpu_s": self.cpu_s,
@@ -131,9 +148,10 @@ class SweepReport:
         }
 
     def render(self) -> str:
+        taint = f", {self.tainted} tainted" if self.tainted else ""
         return (
             f"sweep: {self.jobs} cells ({self.cached} cached, "
-            f"{self.executed} executed, {self.errors} errors) on "
+            f"{self.executed} executed, {self.errors} errors{taint}) on "
             f"{self.workers} worker(s) in {self.wall_s:.2f}s wall / "
             f"{self.cpu_s:.2f}s cpu ({self.utilization * 100:.0f}% pool "
             f"utilization)"
@@ -179,6 +197,14 @@ def _execute_job(job: SweepJob) -> Dict[str, Any]:
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     envelope: Dict[str, Any] = {"pid": os.getpid()}
+    # Per-cell invariant scoping: each cell gets its own fresh monitor
+    # at the ambient mode, so violations recorded by one cell never
+    # bleed into its neighbours — in serial runs (shared process) and
+    # forked pools (inherited parent monitor) alike.  The envelope
+    # carries the violations back as plain dicts.
+    ambient = _invariants.current()
+    mon = _invariants.monitor_for_mode(ambient.mode)
+    _invariants.install(mon)
     try:
         runner = JOB_KINDS.get(job.kind)
         if runner is None:
@@ -194,6 +220,13 @@ def _execute_job(job: SweepJob) -> Dict[str, Any]:
         envelope["error"] = (
             f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
         )
+        if isinstance(exc, ReproError):
+            envelope["error_code"] = exc.code
+    finally:
+        _invariants.install(ambient)
+    if mon.tainted:
+        envelope["tainted"] = True
+        envelope["violations"] = mon.to_dicts()
     envelope["process_s"] = time.process_time() - cpu0
     envelope["wall_s"] = time.perf_counter() - wall0
     return envelope
@@ -301,6 +334,24 @@ def run_sweep(
     cells: List[Optional[CellResult]] = [None] * len(jobs)
     wall0 = time.perf_counter()
 
+    if store is not None and store.on_corruption is None:
+        def _report_corruption(key: str, reason: str) -> None:
+            if telemetry is not None and telemetry.enabled:
+                telemetry.instant(
+                    SWEEP,
+                    "cache_corrupt",
+                    int((time.perf_counter() - wall0) * 1e9),
+                    lane="cache",
+                    key=key,
+                    reason=reason,
+                )
+            if logger is not None:
+                logger.warning(
+                    f"dropped corrupt cache entry {key[:12]}...: {reason}"
+                )
+
+        store.on_corruption = _report_corruption
+
     def _emit(cell: CellResult) -> None:
         if telemetry is not None and telemetry.enabled:
             telemetry.event(
@@ -339,15 +390,30 @@ def run_sweep(
             metrics=envelope.get("metrics"),
             payload=envelope.get("payload"),
             error=envelope.get("error"),
+            error_code=envelope.get(
+                "error_code", "error" if envelope.get("error") else None
+            ),
+            tainted=bool(envelope.get("tainted")),
+            violations=tuple(envelope.get("violations", ())),
             pid=envelope.get("pid", 0),
             wall_s=envelope.get("wall_s", 0.0),
             process_s=envelope.get("process_s", 0.0),
         )
         cells[idx] = cell
         report.executed += 1
+        if cell.tainted:
+            report.tainted += 1
         if cell.error is not None:
             report.errors += 1
-        elif key is not None and cell.metrics is not None and store is not None:
+        elif (
+            key is not None
+            and cell.metrics is not None
+            and store is not None
+            and not cell.tainted
+        ):
+            # Tainted metrics never enter the cache: a warm hit carries
+            # no violation record, so caching them would launder the
+            # taint into a future "clean" sweep.
             store.store(key, cell.metrics, meta={"job": cell.job.label})
         report.cpu_s += cell.process_s
         if cell.pid:
@@ -400,6 +466,8 @@ def run_sweep(
         telemetry.counter(SWEEP, "cells", ts, float(report.jobs))
         telemetry.counter(SWEEP, "cache_hits", ts, float(report.cached))
         telemetry.counter(SWEEP, "errors", ts, float(report.errors))
+        if report.tainted:
+            telemetry.counter(SWEEP, "tainted", ts, float(report.tainted))
     if logger is not None:
         logger.debug(report.render())
     return SweepResult(cells=list(cells), report=report)  # type: ignore[arg-type]

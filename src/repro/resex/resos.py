@@ -20,6 +20,8 @@ from typing import Dict, List, Optional
 
 from repro.errors import PricingError
 from repro.ib.params import FabricParams
+from repro.sim import invariants
+from repro.sim.invariants import GUARD_RESO_ACCOUNTING
 from repro.units import MS, SEC
 
 
@@ -91,12 +93,36 @@ class ResoAccount:
         self.balance -= paid
         self.total_deducted += paid
         self.unmet_demand += resos - paid
+        inv = invariants.current()
+        if inv.enabled:
+            self._check_accounting(inv)
         return self.balance
 
     def replenish(self) -> None:
         """Epoch boundary: restore the allocation, discard leftovers."""
+        inv = invariants.current()
+        if inv.enabled:
+            # Conservation at the epoch seam: whatever is left plus
+            # whatever was ever paid out must be non-negative and the
+            # balance must still sit inside the provisioned envelope.
+            self._check_accounting(inv)
         self.balance = self.allocation
         self.epochs_replenished += 1
+
+    def _check_accounting(self, inv) -> None:
+        """Resos conservation guard: balance within [0, allocation]."""
+        slack = 1e-9 * self.allocation
+        if not (-slack <= self.balance <= self.allocation + slack):
+            inv.violation(
+                GUARD_RESO_ACCOUNTING,
+                -1,
+                f"dom{self.domid} balance {self.balance!r} outside "
+                f"[0, {self.allocation!r}]",
+                domid=self.domid,
+                balance=self.balance,
+                allocation=self.allocation,
+                total_deducted=self.total_deducted,
+            )
 
     def set_allocation(self, allocation: float) -> None:
         """Re-provision (e.g. priority change); takes effect immediately

@@ -12,6 +12,8 @@ from typing import Any, Iterable, List, Optional, Tuple
 
 from repro import telemetry
 from repro.errors import SimulationError, StopSimulation
+from repro.sim import invariants
+from repro.sim.invariants import GUARD_EVENT_TIME
 from repro.sim.events import (
     NORMAL,
     PENDING,
@@ -49,6 +51,11 @@ class Environment:
         #: the shared disabled NULL_BUS unless a trace is being
         #: captured (see :mod:`repro.telemetry`).
         self.telemetry = telemetry.current()
+        #: The runtime invariant monitor every component of this
+        #: simulation checks through.  Defaults to whatever monitor is
+        #: installed globally — the shared disabled NULL_MONITOR unless
+        #: a guard mode is active (see :mod:`repro.sim.invariants`).
+        self.invariants = invariants.current()
 
     # -- introspection --------------------------------------------------------
     @property
@@ -120,7 +127,16 @@ class Environment:
             raise SimulationError("no scheduled events left") from None
 
         if when < self._now:  # pragma: no cover - heap invariant guard
-            raise SimulationError("event scheduled in the past")
+            inv = self.invariants
+            if inv.enabled:
+                inv.violation(
+                    GUARD_EVENT_TIME,
+                    when,
+                    f"event at t={when} dispatched after now={self._now}",
+                    now=self._now,
+                )
+            else:
+                raise SimulationError("event scheduled in the past")
         self._now = when
 
         callbacks = event.callbacks
@@ -184,9 +200,22 @@ class Environment:
         # "null bus is free" contract the telemetry layer promises.
         queue = self._queue
         heappop = heapq.heappop
+        inv = self.invariants
         try:
             while queue:
                 when, _prio, _seq, event = heappop(queue)
+                # Event-time monotonicity guard: the compare is one int
+                # operation on the healthy path; the monitor is only
+                # consulted on an actual regression (and only when a
+                # guard mode is active — off-mode keeps the historical
+                # silent behaviour of this loop).
+                if when < self._now and inv.enabled:
+                    inv.violation(
+                        GUARD_EVENT_TIME,
+                        when,
+                        f"event at t={when} dispatched after now={self._now}",
+                        now=self._now,
+                    )
                 self._now = when
 
                 callbacks = event.callbacks

@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.errors import SchedulerError
 from repro.sim.core import Environment
 from repro.sim.events import Event
+from repro.sim.invariants import GUARD_CREDIT_CAP
 from repro.units import MS
 from repro.xen.vcpu import VCPU, Compute, PollUntil
 
@@ -170,9 +171,31 @@ class PCPUScheduler:
                 if len(eligible) > 1:
                     horizon = min(horizon, quantum_ns)
                 slice_start = env.now
+                inv = env.invariants
+                slice_slack = 0
+                if inv.enabled:
+                    # A PollUntil slice may legitimately overshoot the
+                    # horizon by the final poll check that observes the
+                    # completion; anything beyond that is a cap-
+                    # accounting violation.
+                    head = vcpu.current_item()
+                    if isinstance(head, PollUntil):
+                        slice_slack = head.check_cost_ns
                 vcpu._running_since = slice_start
                 ran = yield from self._run_vcpu(vcpu, horizon)
                 vcpu._running_since = None
+                if inv.enabled and not (0 <= ran <= horizon + slice_slack):
+                    inv.violation(
+                        GUARD_CREDIT_CAP,
+                        env.now,
+                        f"vcpu{vcpu.vcpu_id} slice ran {ran}ns against a "
+                        f"{horizon}ns cap-budget horizon",
+                        vcpu=vcpu.vcpu_id,
+                        ran_ns=ran,
+                        horizon_ns=horizon,
+                        slack_ns=slice_slack,
+                        cap_pct=vcpu.cap_percent,
+                    )
                 vcpu.used_in_period += ran
                 vcpu._cumulative_ns += ran
                 vcpu.vtime += ran / vcpu.weight

@@ -178,9 +178,11 @@ class TestChaosCli:
         assert doc["campaign"] == "link-flap"
         assert len(doc["impacts"]) == 3
 
-    def test_unknown_scenario_errors(self):
+    def test_unknown_scenario_exits_with_config_code(self, capsys):
         from repro.cli import main
         from repro.errors import ConfigError
 
-        with pytest.raises(ConfigError, match="unknown chaos scenario"):
-            main(["chaos", "nope", "--dry-run", "--sim-s", "0.1"])
+        assert main(["chaos", "nope", "--dry-run", "--sim-s", "0.1"]) == \
+            ConfigError.exit_code
+        err = capsys.readouterr().err
+        assert "unknown chaos scenario" in err and "[config]" in err

@@ -136,3 +136,53 @@ class TestResultCache:
         spec = {"sim_s": 0.3}
         old.store(old.key("scenario", "x", 1, spec), {"v": 1.0})
         assert new.load(new.key("scenario", "x", 1, spec)) is None
+
+
+class TestCorruptionHandling:
+    """A damaged entry is a miss, gets deleted, and is reported —
+    never an exception, never stale data."""
+
+    def _truncated_entry(self, tmp_path, **kwargs):
+        cache = ResultCache(tmp_path, **kwargs)
+        key = cache.key("scenario", "x", 1, {"sim_s": 0.3})
+        cache.store(key, {"total_mean": 209.125, "requests": 48.0})
+        path = cache._path(key)
+        # Simulate a crash mid-write: valid JSON prefix, cut short.
+        path.write_text(path.read_text()[:37])
+        return cache, key, path
+
+    def test_truncated_json_is_dropped_and_counted(self, tmp_path):
+        cache, key, path = self._truncated_entry(tmp_path)
+        assert cache.load(key) is None
+        assert not path.exists()  # poisoned file removed from disk
+        assert cache.corrupt_dropped == 1
+        # the next load is an ordinary miss, not another corruption
+        assert cache.load(key) is None
+        assert cache.corrupt_dropped == 1
+
+    def test_on_corruption_callback_receives_key_and_reason(self, tmp_path):
+        seen = []
+        cache, key, _ = self._truncated_entry(
+            tmp_path, on_corruption=lambda k, reason: seen.append((k, reason))
+        )
+        cache.load(key)
+        assert len(seen) == 1
+        got_key, reason = seen[0]
+        assert got_key == key
+        assert reason.startswith("invalid JSON")
+
+    def test_store_after_drop_recovers(self, tmp_path):
+        cache, key, _ = self._truncated_entry(tmp_path)
+        cache.load(key)
+        cache.store(key, {"total_mean": 1.0})
+        assert cache.load(key) == {"total_mean": 1.0}
+
+    def test_unreadable_entry_reports_reason(self, tmp_path):
+        seen = []
+        cache = ResultCache(tmp_path, on_corruption=lambda k, r: seen.append(r))
+        key = cache.key("scenario", "x", 1, {})
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.mkdir()  # a directory where a file should be
+        assert cache.load(key) is None
+        assert len(seen) == 1

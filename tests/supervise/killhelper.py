@@ -1,0 +1,27 @@
+"""Shared cell kind for the kill-and-resume tests.
+
+Imported both by the pytest process (to resume) and by the sacrificial
+subprocess (to run the sweep that gets SIGKILLed), so the registered
+kind and its metrics function are identical on both sides.
+"""
+
+import time
+
+from repro.parallel import SweepJob, register_job_kind
+
+KIND = "kill-slow"
+#: Per-cell sleep: long enough that SIGKILL lands mid-sweep, short
+#: enough that the test stays fast.
+CELL_SLEEP_S = 0.15
+
+
+def _slow_cell(job):
+    time.sleep(CELL_SLEEP_S)
+    return {"value": float(job.seed) * 2.5, "seed": float(job.seed)}
+
+
+register_job_kind(KIND, _slow_cell)
+
+
+def jobs(n):
+    return [SweepJob(KIND, "kill", s, {}) for s in range(n)]

@@ -1,0 +1,157 @@
+"""Kill-and-resume: SIGKILL a sweep mid-flight, resume, prove
+byte-identical results against an uninterrupted run."""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+import killhelper  # noqa: E402  (registers the cell kind in this process)
+
+from repro.supervise import (  # noqa: E402
+    DONE,
+    RunManifest,
+    SupervisePolicy,
+    resume_sweep,
+    supervised_sweep,
+)
+
+N_CELLS = 6
+FAST = SupervisePolicy(backoff_base_s=0.001)
+
+_VICTIM_SCRIPT = """
+import pathlib, sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {helper_dir!r})
+import killhelper
+from repro.supervise import SupervisePolicy, supervised_sweep
+
+supervised_sweep(
+    killhelper.jobs({n}),
+    run_dir={run_dir!r},
+    run_id="victim",
+    policy=SupervisePolicy(backoff_base_s=0.001),
+)
+"""
+
+
+def _count_done(manifest_path) -> int:
+    try:
+        text = manifest_path.read_text()
+    except OSError:
+        return 0
+    return sum(
+        1 for line in text.splitlines() if '"state":"done"' in line
+    )
+
+
+class TestKillAndResume:
+    def test_sigkill_mid_sweep_resumes_byte_identical(self, tmp_path):
+        src = str(pathlib.Path(__file__).parents[2] / "src")
+        helper_dir = str(pathlib.Path(__file__).parent)
+        run_dir = tmp_path / "runs"
+        script = _VICTIM_SCRIPT.format(
+            src=src, helper_dir=helper_dir, n=N_CELLS, run_dir=str(run_dir)
+        )
+        proc = subprocess.Popen([sys.executable, "-c", script])
+        manifest_path = run_dir / "victim" / "manifest.jsonl"
+
+        # Wait until at least two cells have been checkpointed, then
+        # SIGKILL the whole sweep — no cleanup handlers run.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if _count_done(manifest_path) >= 2:
+                break
+            if proc.poll() is not None:
+                pytest.fail(
+                    f"victim sweep exited early (rc={proc.returncode}) "
+                    f"before it could be killed"
+                )
+            time.sleep(0.01)
+        else:
+            pytest.fail("victim sweep never checkpointed two cells")
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(10)
+        assert proc.returncode == -signal.SIGKILL
+
+        done_at_kill = _count_done(manifest_path)
+        assert 2 <= done_at_kill < N_CELLS, (
+            f"kill landed too late ({done_at_kill}/{N_CELLS} done); "
+            f"nothing left to resume"
+        )
+
+        # Resume: completed cells come from the ledger, the rest run.
+        resumed = resume_sweep("victim", run_dir=run_dir, policy=FAST)
+        assert resumed.complete
+        assert resumed.resumed == done_at_kill
+        assert resumed.report.executed == N_CELLS - done_at_kill
+
+        # The proof: resumed output == uninterrupted output, byte for
+        # byte (timing fields excluded by construction).
+        reference = supervised_sweep(
+            killhelper.jobs(N_CELLS),
+            run_dir=run_dir,
+            run_id="reference",
+            policy=FAST,
+        )
+        a = json.dumps(resumed.deterministic_dict(), sort_keys=True)
+        b = json.dumps(reference.deterministic_dict(), sort_keys=True)
+        assert a == b
+
+    def test_interrupted_attempt_replays_as_pending(self, tmp_path):
+        """In-process variant: a manifest whose last record is a
+        ``running`` state (exactly what SIGKILL leaves) re-runs that
+        cell on resume."""
+        run_dir = tmp_path / "runs"
+        sup = supervised_sweep(
+            killhelper.jobs(3),
+            run_dir=run_dir,
+            run_id="partial",
+            policy=FAST,
+        )
+        manifest = RunManifest(run_dir / "partial" / "manifest.jsonl")
+        # Forge the crash: cell 2's conclusion never made it to disk.
+        lines = manifest.path.read_text().splitlines()
+        kept = [
+            ln
+            for ln in lines
+            if not ('"index":2' in ln and '"state":"done"' in ln)
+        ]
+        kept.append(
+            json.dumps(
+                {"type": "state", "index": 2, "attempt": 1, "state": "running"},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+        manifest.path.write_text("\n".join(kept) + "\n")
+
+        state = manifest.replay()
+        assert state.cells[2].state == "running"
+
+        resumed = resume_sweep("partial", run_dir=run_dir, policy=FAST)
+        assert resumed.complete
+        assert resumed.resumed == 2
+        assert resumed.report.executed == 1
+        assert resumed.cells[2].attempts == 1  # re-ran the killed attempt
+        a = json.dumps(sup.deterministic_dict(), sort_keys=True)
+        b = json.dumps(resumed.deterministic_dict(), sort_keys=True)
+        assert a == b
+
+    def test_resume_state_counts(self, tmp_path):
+        run_dir = tmp_path / "runs"
+        supervised_sweep(
+            killhelper.jobs(2),
+            run_dir=run_dir,
+            run_id="counts",
+            policy=FAST,
+        )
+        state = RunManifest(run_dir / "counts" / "manifest.jsonl").replay()
+        assert state.counts()[DONE] == 2
+        assert state.n_jobs == 2

@@ -1,0 +1,331 @@
+"""Supervised runtime: retries, quarantine, watchdogs, taint, resume.
+
+Cell kinds are module-level so fork-started per-cell workers inherit
+them (same reason as the engine tests).  The flaky kinds key off
+``REPRO_SWEEP_ATTEMPT`` — the supervisor exports the attempt number
+precisely so tests can inject attempt-correlated failures.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import ResultCache, SweepJob, register_job_kind
+from repro.sim import invariants
+from repro.sim.invariants import GUARD_RESO_ACCOUNTING
+from repro.supervise import (
+    ATTEMPT_ENV,
+    SupervisePolicy,
+    result_digest,
+    resume_sweep,
+    supervised_sweep,
+)
+
+FAST = SupervisePolicy(backoff_base_s=0.001)
+
+
+def _steady(job):
+    return {"value": float(job.seed * 3)}
+
+
+def _flaky_once(job):
+    if int(os.environ.get(ATTEMPT_ENV, "1")) < 2:
+        raise RuntimeError("injected first-attempt failure")
+    return {"value": float(job.seed * 3)}
+
+
+def _hopeless(job):
+    raise RuntimeError("always fails")
+
+
+def _wedged(job):
+    time.sleep(60)
+    return {"value": 0.0}
+
+
+def _tainting(job):
+    invariants.current().violation(
+        GUARD_RESO_ACCOUNTING, 1, "synthetic violation", domid=job.seed
+    )
+    return {"value": float(job.seed)}
+
+
+register_job_kind("sup-steady", _steady)
+register_job_kind("sup-flaky-once", _flaky_once)
+register_job_kind("sup-hopeless", _hopeless)
+register_job_kind("sup-wedged", _wedged)
+register_job_kind("sup-tainting", _tainting)
+
+
+def _jobs(kind, n=3):
+    return [SweepJob(kind, "t", s, {}) for s in range(n)]
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SupervisePolicy(retries=-1)
+        with pytest.raises(ConfigError):
+            SupervisePolicy(timeout_s=-1)
+        with pytest.raises(ConfigError):
+            SupervisePolicy(heartbeat_every=0)
+
+    def test_backoff_is_deterministic_and_grows(self):
+        p = SupervisePolicy(backoff_base_s=0.1, backoff_seed=7)
+        job = SweepJob("k", "n", 3, {})
+        assert p.backoff_s(job, 1) == p.backoff_s(job, 1)
+        assert p.backoff_s(job, 3) > p.backoff_s(job, 1)
+        other = SupervisePolicy(backoff_base_s=0.1, backoff_seed=8)
+        assert p.backoff_s(job, 1) != other.backoff_s(job, 1)
+
+
+class TestRetryDeterminism:
+    """Fail attempt 1, succeed attempt 2: the merged result must be
+    indistinguishable from first-try success — serial and pooled."""
+
+    def _reference_digests(self, tmp_path, n=3):
+        ref = supervised_sweep(
+            _jobs("sup-steady", n),
+            run_dir=tmp_path,
+            run_id="ref",
+            policy=FAST,
+        )
+        return [
+            c["digest"] for c in ref.deterministic_dict()["cells"]
+        ]
+
+    def test_serial(self, tmp_path):
+        sup = supervised_sweep(
+            _jobs("sup-flaky-once"),
+            run_dir=tmp_path,
+            run_id="serial",
+            policy=SupervisePolicy(retries=1, backoff_base_s=0.001),
+        )
+        assert sup.complete
+        assert sup.retried_attempts == 3
+        assert all(c.attempts == 2 for c in sup.cells)
+        digests = [
+            c["digest"] for c in sup.deterministic_dict()["cells"]
+        ]
+        assert digests == self._reference_digests(tmp_path)
+
+    def test_parallel_jobs_4(self, tmp_path):
+        sup = supervised_sweep(
+            _jobs("sup-flaky-once", 4),
+            run_dir=tmp_path,
+            run_id="pooled",
+            workers=4,
+            policy=SupervisePolicy(
+                retries=1, timeout_s=60, backoff_base_s=0.001
+            ),
+        )
+        assert sup.complete
+        assert all(c.attempts == 2 for c in sup.cells)
+        digests = [
+            c["digest"] for c in sup.deterministic_dict()["cells"]
+        ]
+        assert digests == self._reference_digests(tmp_path, n=4)
+
+
+class TestQuarantine:
+    def test_exhausted_retries_quarantine(self, tmp_path):
+        sup = supervised_sweep(
+            _jobs("sup-hopeless", 2),
+            run_dir=tmp_path,
+            run_id="q",
+            policy=SupervisePolicy(retries=2, backoff_base_s=0.001),
+        )
+        assert not sup.complete
+        assert sup.quarantined == 2
+        assert all(c.attempts == 3 for c in sup.cells)
+        integrity = sup.integrity()
+        assert integrity["quarantined"] == 2 and not integrity["complete"]
+
+    def test_quarantined_cells_skip_on_resume(self, tmp_path):
+        supervised_sweep(
+            _jobs("sup-hopeless", 1),
+            run_dir=tmp_path,
+            run_id="q2",
+            policy=SupervisePolicy(retries=0, backoff_base_s=0.001),
+        )
+        resumed = resume_sweep("q2", run_dir=tmp_path, policy=FAST)
+        assert resumed.quarantined == 1
+        # nothing re-ran: quarantine is terminal without the flag
+        assert resumed.report.executed == 1
+        assert resumed.cells[0].error is not None
+
+    def test_retry_quarantined_gets_fresh_budget(self, tmp_path):
+        supervised_sweep(
+            _jobs("sup-hopeless", 1),
+            run_dir=tmp_path,
+            run_id="q3",
+            policy=SupervisePolicy(retries=0, backoff_base_s=0.001),
+        )
+        resumed = resume_sweep(
+            "q3",
+            run_dir=tmp_path,
+            retry_quarantined=True,
+            policy=SupervisePolicy(retries=0, backoff_base_s=0.001),
+        )
+        assert resumed.quarantined == 1  # still hopeless, but it re-ran
+        assert resumed.report.executed == 1
+
+
+class TestWatchdogs:
+    def test_timeout_kills_and_quarantines(self, tmp_path):
+        t0 = time.monotonic()
+        sup = supervised_sweep(
+            _jobs("sup-wedged", 1),
+            run_dir=tmp_path,
+            run_id="to",
+            policy=SupervisePolicy(
+                retries=0, timeout_s=0.3, backoff_base_s=0.001
+            ),
+        )
+        assert time.monotonic() - t0 < 10
+        assert sup.quarantined == 1
+        [cell] = sup.cells
+        assert cell.error_code == "cell-timeout"
+        assert "wall-clock" in cell.error
+
+    def test_stall_detector_kills_silent_worker(self, tmp_path):
+        sup = supervised_sweep(
+            _jobs("sup-wedged", 1),
+            run_dir=tmp_path,
+            run_id="st",
+            policy=SupervisePolicy(
+                retries=0, stall_s=0.3, backoff_base_s=0.001
+            ),
+        )
+        assert sup.quarantined == 1
+        assert "stalled" in sup.cells[0].error
+
+    def test_worker_crash_is_a_cell_error(self, tmp_path):
+        def _die(job):
+            os._exit(17)
+
+        register_job_kind("sup-die", _die)
+        sup = supervised_sweep(
+            [SweepJob("sup-die", "t", 0, {})],
+            run_dir=tmp_path,
+            run_id="crash",
+            policy=SupervisePolicy(
+                retries=0, timeout_s=30, backoff_base_s=0.001
+            ),
+        )
+        assert sup.quarantined == 1
+        assert "died" in sup.cells[0].error
+
+
+class TestTaint:
+    def test_tainted_cells_marked_and_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with invariants.activate("record"):
+            sup = supervised_sweep(
+                _jobs("sup-tainting", 2),
+                run_dir=tmp_path,
+                run_id="taint",
+                policy=FAST,
+                cache=cache,
+                invariant_mode="record",
+            )
+        assert sup.complete  # record mode completes, honestly labelled
+        assert all(c.tainted for c in sup.cells)
+        assert sup.report.tainted == 2
+        assert len(cache) == 0  # taint never launders through the cache
+        integrity = sup.integrity()
+        assert integrity["tainted"] == 2
+        assert integrity["invariant_violations"] == {
+            GUARD_RESO_ACCOUNTING: 2
+        }
+
+    def test_strict_mode_quarantines_violating_cells(self, tmp_path):
+        sup = supervised_sweep(
+            _jobs("sup-tainting", 1),
+            run_dir=tmp_path,
+            run_id="strict",
+            policy=SupervisePolicy(retries=0, backoff_base_s=0.001),
+            invariant_mode="strict",
+        )
+        assert sup.quarantined == 1
+        assert sup.cells[0].error_code == "invariant"
+
+
+class TestResume:
+    def test_completed_run_resumes_byte_identical(self, tmp_path):
+        sup = supervised_sweep(
+            _jobs("sup-steady", 4),
+            run_dir=tmp_path,
+            run_id="full",
+            policy=FAST,
+        )
+        resumed = resume_sweep("full", run_dir=tmp_path, policy=FAST)
+        assert resumed.resumed == 4
+        assert resumed.report.executed == 0
+        a = json.dumps(sup.deterministic_dict(), sort_keys=True)
+        b = json.dumps(resumed.deterministic_dict(), sort_keys=True)
+        assert a == b
+
+    def test_jobs_mismatch_is_rejected(self, tmp_path):
+        supervised_sweep(
+            _jobs("sup-steady", 2),
+            run_dir=tmp_path,
+            run_id="mm",
+            policy=FAST,
+        )
+        with pytest.raises(ConfigError, match="mismatch"):
+            supervised_sweep(
+                _jobs("sup-steady", 3),
+                run_dir=tmp_path,
+                run_id="mm",
+                resume=True,
+                policy=FAST,
+            )
+
+    def test_resume_requires_run_id(self, tmp_path):
+        with pytest.raises(ConfigError, match="run id"):
+            supervised_sweep(
+                _jobs("sup-steady", 1),
+                run_dir=tmp_path,
+                resume=True,
+                policy=FAST,
+            )
+
+
+class TestCacheIntegration:
+    def test_second_run_serves_cache_and_records_done(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        supervised_sweep(
+            _jobs("sup-steady", 3),
+            run_dir=tmp_path,
+            run_id="c1",
+            policy=FAST,
+            cache=cache,
+        )
+        sup2 = supervised_sweep(
+            _jobs("sup-steady", 3),
+            run_dir=tmp_path,
+            run_id="c2",
+            policy=FAST,
+            cache=cache,
+        )
+        assert sup2.report.cached == 3 and sup2.report.executed == 0
+        # cache hits were checkpointed too: c2 resumes entirely from
+        # its own ledger even with the cache gone
+        resumed = resume_sweep("c2", run_dir=tmp_path, policy=FAST)
+        assert resumed.resumed == 3
+
+    def test_digest_matches_engine_metrics(self, tmp_path):
+        sup = supervised_sweep(
+            _jobs("sup-steady", 1),
+            run_dir=tmp_path,
+            run_id="d",
+            policy=FAST,
+        )
+        [cell] = sup.cells
+        assert sup.deterministic_dict()["cells"][0]["digest"] == (
+            result_digest(cell.metrics)
+        )
