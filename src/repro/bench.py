@@ -241,6 +241,32 @@ def invariants_record(sim_s: float = 0.2, rounds: int = 5) -> Dict[str, Any]:
     }
 
 
+def cluster_scale(sim_s: float = 0.25) -> Dict[str, Any]:
+    """The 256-host leaf-spine cluster scenario (ROADMAP item 1).
+
+    16 racks x 16 hosts x 8 VMs (2048 VMs) with 2000 background flows,
+    per-rack ResEx controllers and fabric-borne price federation.  The
+    ``meta`` carries the tentpole's evidence: ``component_frac`` is the
+    fraction of max-min reallocation solves that stayed inside their
+    connected component (strictly local work), and ``max_component``
+    bounds how much of the 2000-flow population any single solve ever
+    touched.
+    """
+    from repro.experiments.cluster import run_cluster
+
+    m = run_cluster("cluster_scale", seed=7, sim_s=sim_s).metrics()
+    return {
+        "sim_s": sim_s,
+        "hosts": int(m["hosts"]),
+        "vms": int(m["vms"]),
+        "flows_completed": int(m["flows_completed"]),
+        "flow_p99_us": round(m["flow_p99_us"], 1),
+        "federation_syncs": int(m["federation_syncs"]),
+        "component_frac": round(m["solver_component_frac"], 4),
+        "max_component": int(m["solver_max_component"]),
+    }
+
+
 #: name -> (workload, one-line description).
 WORKLOADS: Dict[str, Tuple[Callable[[], Dict[str, Any]], str]] = {
     "headline_managed": (
@@ -265,6 +291,10 @@ WORKLOADS: Dict[str, Tuple[Callable[[], Dict[str, Any]], str]] = {
     "invariants_record": (
         invariants_record,
         "managed scenario A/B: invariant guards off vs record mode",
+    ),
+    "cluster_scale": (
+        cluster_scale,
+        "256-host leaf-spine cluster: 2048 VMs, 2000 flows, price federation",
     ),
 }
 
@@ -368,9 +398,34 @@ def render_benchmarks(doc: Dict[str, Any]) -> str:
     )
 
 
+#: How many superseded runs ``write_bench_json`` keeps in ``history``.
+BENCH_HISTORY_LIMIT = 20
+
+
 def write_bench_json(path, doc: Dict[str, Any]) -> None:
+    """Write ``doc`` to ``path``, preserving prior runs as history.
+
+    An existing well-formed document is demoted (minus its own
+    ``history``) into the new document's ``history`` list, newest
+    first and capped at :data:`BENCH_HISTORY_LIMIT` — so the top-level
+    document is always the latest run, but a regression's "before"
+    numbers survive the rerun that found it.  An unreadable or
+    foreign-schema file is overwritten without history rather than
+    failing the bench run.
+    """
     import pathlib
 
-    pathlib.Path(path).write_text(
-        json.dumps(doc, indent=2, sort_keys=True) + "\n"
-    )
+    target = pathlib.Path(path)
+    history: List[Dict[str, Any]] = []
+    try:
+        prior = json.loads(target.read_text())
+    except (OSError, ValueError):
+        prior = None
+    if isinstance(prior, dict) and str(
+        prior.get("schema", "")
+    ).startswith("repro-bench/"):
+        history = list(prior.pop("history", []))
+        history.insert(0, prior)
+    out = dict(doc)
+    out["history"] = history[:BENCH_HISTORY_LIMIT]
+    target.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")

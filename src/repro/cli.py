@@ -185,6 +185,50 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis import render_table
+    from repro.experiments.cluster import CLUSTER_SPECS, run_cluster
+
+    if args.list:
+        for name, spec in CLUSTER_SPECS.items():
+            print(
+                f"{name:20s} {spec.topology:10s} hosts={spec.n_hosts:<4d} "
+                f"vms={spec.n_vms:<5d} flows={spec.n_flows:<5d} "
+                f"sim_s={spec.sim_s}"
+            )
+        return 0
+
+    with _invariant_scope(args.invariants) as monitor:
+        result = run_cluster(args.preset, seed=args.seed, sim_s=args.sim_s)
+    tainted = monitor is not None and monitor.tainted
+    if tainted:
+        get_logger().warning(
+            f"invariant guards recorded {len(monitor.violations)} "
+            f"violation(s); results are tainted"
+        )
+
+    metrics = result.metrics()
+    if args.json:
+        doc = {
+            "preset": args.preset,
+            "seed": args.seed,
+            "tainted": tainted,
+            "metrics": metrics,
+        }
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(
+        render_table(
+            ["metric", "value"],
+            [[k, v] for k, v in sorted(metrics.items())],
+            title=f"cluster {args.preset} (seed={args.seed})",
+        )
+    )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -762,6 +806,39 @@ def build_parser() -> argparse.ArgumentParser:
         "on the first one (default off)",
     )
     scenario.set_defaults(func=_cmd_scenario)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run a cluster-scale preset (leaf-spine / fat-tree topology, "
+        "per-rack ResEx controllers, fabric-borne price federation)",
+    )
+    add_verbosity_args(cluster)
+    cluster.add_argument(
+        "preset",
+        nargs="?",
+        default="cluster_smoke",
+        help="preset name (see --list); default cluster_smoke",
+    )
+    cluster.add_argument(
+        "--list", action="store_true", help="list registered cluster presets"
+    )
+    cluster.add_argument("--seed", type=int, default=7)
+    cluster.add_argument(
+        "--sim-s", type=float, default=None,
+        help="override the preset's simulated duration",
+    )
+    cluster.add_argument(
+        "--invariants",
+        choices=["off", "record", "strict"],
+        default="off",
+        help="runtime invariant guards: record violations, or fail fast "
+        "on the first one (default off)",
+    )
+    cluster.add_argument(
+        "--json", action="store_true",
+        help="emit metrics as JSON (includes the 'tainted' flag)",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     trace = sub.add_parser(
         "trace",

@@ -11,8 +11,18 @@ from repro.experiments.multiseed import (
     sweep_comparison,
     sweep_scenario,
 )
+from repro.experiments.cluster import (
+    CLUSTER_SPECS,
+    ClusterResult,
+    ClusterSetup,
+    ClusterSpec,
+    build_cluster,
+    cluster_spec,
+    run_cluster,
+)
 from repro.experiments.suite import (
     run_ablation_set,
+    run_cluster_set,
     run_figure_set,
     run_registry_set,
 )
@@ -34,7 +44,11 @@ __all__ = [
     "ALL_FIGURES",
     "CHAOS_METRICS",
     "CHAOS_SCENARIOS",
+    "CLUSTER_SPECS",
     "ChaosResult",
+    "ClusterResult",
+    "ClusterSetup",
+    "ClusterSpec",
     "FigureResult",
     "Node",
     "REPORTING_SLA",
@@ -42,7 +56,9 @@ __all__ = [
     "ScenarioResult",
     "ScenarioSetup",
     "Testbed",
+    "build_cluster",
     "build_scenario",
+    "cluster_spec",
     "default_fault_engine",
     "replicate_chaos",
     "replicate_comparison",
@@ -50,6 +66,8 @@ __all__ = [
     "resume_sweep",
     "run_ablation_set",
     "run_chaos_scenario",
+    "run_cluster",
+    "run_cluster_set",
     "run_figure_set",
     "run_registry_set",
     "run_scenario",

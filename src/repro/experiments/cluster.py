@@ -1,0 +1,458 @@
+"""Cluster-scale scenarios: hundreds of hosts on a routed fabric.
+
+The paper's platform is two hosts on a crossbar; ROADMAP item 1 grows
+it to a cluster.  A cluster scenario wires a :class:`~repro.hw.
+topology.Topology` (leaf-spine or fat-tree) under the standard
+:class:`~repro.experiments.platform.Testbed`, populates every host
+with guest VMs, and layers three kinds of activity on top:
+
+* **Monitored application traffic** — the paper's BenchEx pairs on the
+  first racks' head nodes: a latency-reporting pair plus a
+  larger-buffer interfering pair, both crossing the spine, observed by
+  a full ResEx controller (IBMon, Reso accounts, IOShares pricing).
+* **Per-rack ResEx controllers** — rack 0 runs the detecting
+  :class:`~repro.resex.IOShares` policy; every other rack runs
+  :class:`~repro.resex.RackFollower`, applying the cluster-wide price.
+  A :class:`~repro.resex.ClusterFederation` gossips prices between the
+  rack heads **over the simulated fabric** (§ federation docstring).
+* **Background flows** — a seeded population of VM-to-VM transfers
+  (default 70 % intra-rack) submitted directly to the fluid fabric
+  along topology routes.  They are the cluster's bulk traffic: they
+  contend on leaf uplinks and host ports and exercise the vectorized
+  max-min solver at realistic transfer counts.
+
+Background flows deliberately bypass the per-VM virtio/HCA stack — at
+256 hosts the full split-driver path per flow would dominate runtime
+without changing what the fabric layer is being asked to prove
+(routing, contention, component-local reallocation).  The monitored
+pairs keep the full stack honest; the flows keep the fabric busy.
+
+Everything is deterministic: flow endpoints, sizes and start times
+come from named :class:`~repro.sim.rng.RngRegistry` streams, routing
+is static, and the max-min solver is bit-identical across solver
+paths, so a cluster run's metrics are reproducible cell-for-cell
+under the sweep engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.benchex import BenchExConfig, BenchExPair
+from repro.errors import ConfigError
+from repro.experiments.platform import Node, Testbed
+from repro.experiments.scenarios import REPORTING_SLA
+from repro.hw.fabric import FluidFabric
+from repro.hw.host import path_between
+from repro.hw.topology import FatTree, LeafSpine, Topology
+from repro.resex import ClusterFederation, IOShares, RackFollower, ResExController
+from repro.units import KiB, MS, MiB, SEC
+
+#: Topology kinds a :class:`ClusterSpec` understands.
+TOPOLOGY_KINDS = ("leaf-spine", "fat-tree")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One cluster configuration: wiring, population and traffic."""
+
+    name: str
+    #: ``"leaf-spine"`` or ``"fat-tree"``.
+    topology: str = "leaf-spine"
+    #: Leaf-spine shape (ignored for fat-tree).
+    racks: int = 4
+    hosts_per_rack: int = 4
+    spines: int = 2
+    #: Fat-tree arity (ignored for leaf-spine); hosts = k^3/4.
+    fat_tree_k: int = 4
+    #: Guest VMs created per host (the flow-endpoint population).
+    vms_per_host: int = 4
+    #: Background VM-to-VM flows over the whole run.
+    n_flows: int = 200
+    #: Fraction of flows whose endpoints share a rack.
+    intra_rack_frac: float = 0.7
+    #: Flow sizes are log-uniform over [min, max].
+    flow_bytes_min: int = 64 * KiB
+    flow_bytes_max: int = 2 * MiB
+    #: Simulated duration.
+    sim_s: float = 0.1
+    #: Price-gossip cadence of the cluster federation.
+    sync_interval_ns: int = 2 * MS
+    #: Deploy the monitored BenchEx pairs + ResEx controllers.
+    with_resex: bool = True
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGY_KINDS:
+            raise ConfigError(
+                f"unknown topology {self.topology!r} (have {TOPOLOGY_KINDS})"
+            )
+        if self.vms_per_host < 1:
+            raise ConfigError("vms_per_host must be >= 1")
+        if self.n_flows < 0:
+            raise ConfigError("n_flows must be >= 0")
+        if not 0.0 <= self.intra_rack_frac <= 1.0:
+            raise ConfigError("intra_rack_frac must be within [0, 1]")
+        if not 0 < self.flow_bytes_min <= self.flow_bytes_max:
+            raise ConfigError("need 0 < flow_bytes_min <= flow_bytes_max")
+        if self.sim_s <= 0:
+            raise ConfigError("sim_s must be > 0")
+        if self.topology == "leaf-spine" and self.racks < 2:
+            raise ConfigError("a cluster needs at least two racks")
+
+    @property
+    def n_racks(self) -> int:
+        if self.topology == "fat-tree":
+            # The edge switch is the rack: k/2 hosts per edge.
+            return self.fat_tree_k * (self.fat_tree_k // 2)
+        return self.racks
+
+    @property
+    def n_hosts(self) -> int:
+        if self.topology == "fat-tree":
+            return self.fat_tree_k ** 3 // 4
+        return self.racks * self.hosts_per_rack
+
+    @property
+    def n_vms(self) -> int:
+        return self.n_hosts * self.vms_per_host
+
+    def topology_factory(self) -> Callable[[FluidFabric], Topology]:
+        """The :class:`~repro.experiments.platform.Testbed` hook."""
+        from repro.ib.params import DEFAULT_FABRIC_PARAMS
+
+        bps = DEFAULT_FABRIC_PARAMS.link_bytes_per_sec
+        if self.topology == "fat-tree":
+            return lambda fabric: FatTree(fabric, bps, k=self.fat_tree_k)
+        return lambda fabric: LeafSpine(
+            fabric, bps, racks=self.racks,
+            hosts_per_rack=self.hosts_per_rack, spines=self.spines,
+        )
+
+
+#: The registered cluster presets.  ``cluster_scale`` is ROADMAP item
+#: 1's headline configuration: 256 hosts / 2048 VMs on a 16x16
+#: leaf-spine with 4 spines.  ``cluster_smoke`` is the CI-sized
+#: end-to-end check; ``cluster_fat_tree`` exercises the three-stage
+#: routing at k=8 (128 hosts).
+CLUSTER_SPECS: Dict[str, ClusterSpec] = {
+    spec.name: spec
+    for spec in (
+        ClusterSpec(
+            name="cluster_smoke",
+            racks=4, hosts_per_rack=4, spines=2,
+            vms_per_host=4, n_flows=150, sim_s=0.08,
+        ),
+        ClusterSpec(
+            name="cluster_scale",
+            racks=16, hosts_per_rack=16, spines=4,
+            vms_per_host=8, n_flows=2000, sim_s=0.25,
+        ),
+        ClusterSpec(
+            name="cluster_fat_tree",
+            topology="fat-tree", fat_tree_k=8,
+            vms_per_host=8, n_flows=1000, sim_s=0.2,
+        ),
+    )
+}
+
+
+def cluster_spec(name: str) -> ClusterSpec:
+    try:
+        return CLUSTER_SPECS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown cluster preset {name!r} (try {sorted(CLUSTER_SPECS)})"
+        ) from None
+
+
+@dataclass
+class FlowRecord:
+    """One completed (or still-running) background flow."""
+
+    label: str
+    nbytes: int
+    cross_rack: bool
+    start_ns: int
+    done_ns: Optional[int] = None
+
+    @property
+    def latency_us(self) -> Optional[float]:
+        if self.done_ns is None:
+            return None
+        return (self.done_ns - self.start_ns) / 1e3
+
+
+@dataclass
+class ClusterResult:
+    """Everything a cluster run produces, with a cacheable projection."""
+
+    spec: ClusterSpec
+    seed: int
+    sim_time_ns: int
+    flows: List[FlowRecord]
+    #: Copied from :attr:`FluidFabric.solver_stats` at run end.
+    solver_stats: Dict[str, int]
+    #: Reporting-VM latencies (us); empty without ResEx pairs.
+    reporting_us: np.ndarray
+    federation_syncs: int = 0
+    federation_price: float = 1.0
+
+    def completed(self) -> List[FlowRecord]:
+        return [f for f in self.flows if f.done_ns is not None]
+
+    def metrics(self) -> Dict[str, float]:
+        """Float-only metrics — the sweep cache's storable shape."""
+        done = self.completed()
+        lat = np.array([f.latency_us for f in done], dtype=float)
+        cross = [f for f in done if f.cross_rack]
+        out: Dict[str, float] = {
+            "hosts": float(self.spec.n_hosts),
+            "vms": float(self.spec.n_vms),
+            "flows_submitted": float(len(self.flows)),
+            "flows_completed": float(len(done)),
+            "flows_cross_rack": float(len(cross)),
+            "flow_bytes_total": float(sum(f.nbytes for f in done)),
+            "flow_p50_us": float(np.percentile(lat, 50)) if len(lat) else math.nan,
+            "flow_p99_us": float(np.percentile(lat, 99)) if len(lat) else math.nan,
+            "federation_syncs": float(self.federation_syncs),
+            "federation_price": float(self.federation_price),
+            "sim_time_s": self.sim_time_ns / SEC,
+        }
+        stats = self.solver_stats
+        solves = stats["global_solves"] + stats["component_solves"]
+        out["solver_global_solves"] = float(stats["global_solves"])
+        out["solver_component_solves"] = float(stats["component_solves"])
+        out["solver_max_component"] = float(stats["max_component"])
+        #: The tentpole's locality evidence: fraction of reallocation
+        #: solves that never left their connected component.
+        out["solver_component_frac"] = (
+            stats["component_solves"] / solves if solves else math.nan
+        )
+        if len(self.reporting_us):
+            out["reporting_p50_us"] = float(np.percentile(self.reporting_us, 50))
+            out["reporting_p99_us"] = float(np.percentile(self.reporting_us, 99))
+        return out
+
+
+@dataclass
+class ClusterSetup:
+    """A fully wired, not-yet-run cluster scenario."""
+
+    spec: ClusterSpec
+    seed: int
+    bed: Testbed
+    #: ``nodes[r][h]`` is host ``h`` of rack ``r``; ``nodes[r][0]`` is
+    #: the rack head (controller + federation endpoint).
+    nodes: List[List[Node]]
+    controllers: List[ResExController] = field(default_factory=list)
+    federation: Optional[ClusterFederation] = None
+    pairs: List[BenchExPair] = field(default_factory=list)
+    reporter: Optional[BenchExPair] = None
+    flows: List[FlowRecord] = field(default_factory=list)
+
+    @property
+    def rack_heads(self) -> List[Node]:
+        return [rack[0] for rack in self.nodes]
+
+    def execute(self, sim_s: Optional[float] = None) -> ClusterResult:
+        """Deploy pairs, start flows and the federation, run, collect."""
+        spec, bed = self.spec, self.bed
+        until_ns = int((sim_s if sim_s is not None else spec.sim_s) * SEC)
+
+        def deploy_all(env):
+            for pair in self.pairs:
+                yield from pair.deploy()
+            for pair in self.pairs:
+                pair.start()
+
+        if self.pairs:
+            bed.env.process(deploy_all(bed.env), name="cluster-deploy")
+        if self.federation is not None:
+            self.federation.start()
+        self._launch_flows(until_ns)
+        bed.env.run(until=until_ns)
+
+        reporting = (
+            self.reporter.server.latencies_us()
+            if self.reporter is not None and self.reporter.server is not None
+            else np.array([])
+        )
+        return ClusterResult(
+            spec=spec,
+            seed=self.seed,
+            sim_time_ns=bed.env.now,
+            flows=self.flows,
+            solver_stats=dict(bed.fabric.solver_stats),
+            reporting_us=reporting,
+            federation_syncs=(
+                self.federation.syncs if self.federation is not None else 0
+            ),
+            federation_price=(
+                self.federation.cluster_price
+                if self.federation is not None else 1.0
+            ),
+        )
+
+    # -- background flows ---------------------------------------------------
+    def _launch_flows(self, until_ns: int) -> None:
+        """Schedule the seeded background flow population.
+
+        Endpoints, sizes and start times all come from one named RNG
+        stream, so the flow schedule is a pure function of (seed,
+        spec) — independent of deployment interleaving.
+        """
+        spec, bed = self.spec, self.bed
+        if spec.n_flows == 0:
+            return
+        rng = bed.rng.stream("cluster/flows")
+        flat = [node for rack in self.nodes for node in rack]
+        racks = self.nodes
+        # Flows start inside the first 70% of the run so the tail has
+        # room to drain (completions are what the percentiles need).
+        horizon = int(until_ns * 0.7)
+
+        for i in range(spec.n_flows):
+            src_r = int(rng.integers(len(racks)))
+            src_h = int(rng.integers(len(racks[src_r])))
+            intra = (
+                len(racks[src_r]) > 1
+                and float(rng.random()) < spec.intra_rack_frac
+            )
+            if intra:
+                dst_r = src_r
+                dst_h = int(rng.integers(len(racks[src_r]) - 1))
+                if dst_h >= src_h:
+                    dst_h += 1  # never loopback
+            else:
+                dst_r = int(rng.integers(len(racks) - 1))
+                if dst_r >= src_r:
+                    dst_r += 1
+                dst_h = int(rng.integers(len(racks[dst_r])))
+            src, dst = racks[src_r][src_h], racks[dst_r][dst_h]
+            nbytes = int(
+                math.exp(
+                    float(
+                        rng.uniform(
+                            math.log(spec.flow_bytes_min),
+                            math.log(spec.flow_bytes_max),
+                        )
+                    )
+                )
+            )
+            start_ns = int(rng.integers(horizon)) if horizon > 0 else 0
+            sv = int(rng.integers(spec.vms_per_host))
+            dv = int(rng.integers(spec.vms_per_host))
+            record = FlowRecord(
+                label=(
+                    f"{src.host.name}.vm{sv}->{dst.host.name}.vm{dv}"
+                ),
+                nbytes=nbytes,
+                cross_rack=src_r != dst_r,
+                start_ns=start_ns,
+            )
+            self.flows.append(record)
+            bed.env.process(
+                self._flow(record, src, dst), name=f"flow.{i}"
+            )
+        del flat  # endpoints are rack-indexed; kept for clarity above
+
+    def _flow(self, record: FlowRecord, src: Node, dst: Node):
+        env = self.bed.env
+        if record.start_ns > 0:
+            yield env.timeout(record.start_ns)
+        transfer = self.bed.fabric.submit(
+            path_between(src.host, dst.host), record.nbytes, record.label
+        )
+        yield transfer.done
+        record.done_ns = env.now
+
+
+def build_cluster(
+    spec: "ClusterSpec | str", seed: int = 7
+) -> ClusterSetup:
+    """Wire a cluster scenario without advancing simulated time."""
+    if isinstance(spec, str):
+        spec = cluster_spec(spec)
+
+    bed = Testbed(seed=seed, topology_factory=spec.topology_factory())
+    topo = bed.topology
+    assert topo is not None
+
+    # Population: hosts in rack-major order (matches the topologies'
+    # index -> rack mapping), each with its guest VMs.  Rack heads get
+    # spare cores for the monitored pairs' VMs.
+    n_racks = spec.n_racks
+    hosts_per_rack = spec.n_hosts // n_racks
+    nodes: List[List[Node]] = []
+    for r in range(n_racks):
+        rack: List[Node] = []
+        for h in range(hosts_per_rack):
+            ncpus = spec.vms_per_host + (4 if h == 0 else 1)
+            node = bed.add_node(f"rack{r}-host{h}", ncpus=ncpus)
+            for v in range(spec.vms_per_host):
+                node.create_guest(f"rack{r}-host{h}.vm{v}")
+            rack.append(node)
+        nodes.append(rack)
+
+    setup = ClusterSetup(spec=spec, seed=seed, bed=bed, nodes=nodes)
+    if not spec.with_resex:
+        return setup
+
+    heads = setup.rack_heads
+    # The paper's monitored workload, stretched across the spine: the
+    # reporting pair serves from rack 0's head to rack 1's head, the
+    # interferer from rack 0's head to the last rack's head — so both
+    # servers share rack 0's egress port (the §VII contention point).
+    reporter = BenchExPair(
+        bed, heads[0], heads[1],
+        BenchExConfig(name="rep", warmup_requests=50),
+        with_agent=True,
+    )
+    interferer = BenchExPair(
+        bed, heads[0], heads[-1],
+        BenchExConfig(name="intf", buffer_bytes=2 * MiB),
+    )
+    setup.pairs = [reporter, interferer]
+    setup.reporter = reporter
+
+    # Rack 0 detects (full IOShares); every other rack follows the
+    # federated cluster price.
+    for r, head in enumerate(heads):
+        policy = IOShares() if r == 0 else RackFollower()
+        ctl = ResExController(head, policy)
+        if r == 0:
+            ctl.monitor(reporter.server_dom, agent=reporter.agent,
+                        sla=REPORTING_SLA)
+            ctl.monitor(interferer.server_dom)
+        else:
+            # A follower prices whatever its rack hosts; monitor the
+            # head's first guest so the controller has a population.
+            ctl.monitor(head.hypervisor.guest_domains()[0])
+        ctl.start()
+        setup.controllers.append(ctl)
+
+    federation = ClusterFederation(
+        bed.env, bed.fabric, sync_interval_ns=spec.sync_interval_ns
+    )
+    for r, ctl in enumerate(setup.controllers):
+        federation.register(r, ctl)
+    setup.federation = federation
+    return setup
+
+
+def run_cluster(
+    spec: "ClusterSpec | str",
+    seed: int = 7,
+    sim_s: Optional[float] = None,
+) -> ClusterResult:
+    """Build and run one cluster scenario (the one-call API)."""
+    return build_cluster(spec, seed=seed).execute(sim_s)
+
+
+def scaled_spec(spec: ClusterSpec, sim_s: float) -> ClusterSpec:
+    """A copy of ``spec`` running for ``sim_s`` simulated seconds."""
+    return replace(spec, sim_s=sim_s)

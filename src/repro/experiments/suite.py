@@ -75,6 +75,41 @@ def run_registry_set(
     )
 
 
+def run_cluster_set(
+    names: Optional[Sequence[str]] = None,
+    *,
+    seed: int = 7,
+    jobs: int = 1,
+    sim_s: Optional[float] = None,
+    telemetry=None,
+) -> Tuple[Dict[str, Dict[str, float]], SweepReport]:
+    """Run cluster-scale presets as ``cluster`` cells.
+
+    ``names=None`` runs every :data:`~repro.experiments.cluster.
+    CLUSTER_SPECS` preset.  Cluster cells return float metric dicts,
+    so — unlike registry cells — they are content-addressed cacheable.
+    """
+    from repro.experiments.cluster import CLUSTER_SPECS
+
+    if names is None:
+        names = list(CLUSTER_SPECS)
+    unknown = [n for n in names if n not in CLUSTER_SPECS]
+    if unknown:
+        raise ConfigError(
+            f"unknown cluster presets {unknown} (have {sorted(CLUSTER_SPECS)})"
+        )
+    spec: Dict[str, object] = {}
+    if sim_s is not None:
+        spec["sim_s"] = float(sim_s)
+    cells = [SweepJob("cluster", name, int(seed), dict(spec)) for name in names]
+    result = run_sweep(cells, workers=jobs, telemetry=telemetry)
+    _check_complete(result, "cluster")
+    return (
+        {name: cell.metrics for name, cell in zip(names, result.cells)},
+        result.report,
+    )
+
+
 def run_figure_set(
     names: Optional[Sequence[str]] = None,
     *,

@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import ConfigError
 from repro.hw.cpu import PCPU
 from repro.hw.fabric import FluidFabric, NetLink
 from repro.hw.memory import MachineMemory
 from repro.units import GiB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.topology import Topology
 
 
 class Host:
@@ -34,6 +37,9 @@ class Host:
         #: Egress / ingress fabric port directions; set by attach_fabric.
         self.tx_link: Optional[NetLink] = None
         self.rx_link: Optional[NetLink] = None
+        #: The topology this host is wired into (set by Topology.attach);
+        #: ``None`` means legacy direct attachment (crossbar semantics).
+        self.topology: Optional["Topology"] = None
         #: The HCA attached to this host (set by repro.ib.hca.HCA).
         self.hca = None
 
@@ -45,6 +51,11 @@ class Host:
         A port is full duplex: separate tx and rx capacity, as on real
         IB links.  Contention is per direction.
         """
+        if self.tx_link is not None or self.rx_link is not None:
+            raise ConfigError(
+                f"host {self.name!r} is already attached to a fabric "
+                "(double attachment would create duplicate port links)"
+            )
         self.tx_link = fabric.add_link(f"{self.name}.tx", link_bytes_per_sec)
         self.rx_link = fabric.add_link(f"{self.name}.rx", link_bytes_per_sec)
 
@@ -59,12 +70,26 @@ class Host:
 def path_between(src: Host, dst: Host) -> List[NetLink]:
     """Fabric path for a transfer from ``src`` to ``dst``.
 
-    The switch backplane is non-blocking (crossbar), so the only
-    contention points are the source's egress and destination's ingress
-    port.  Loopback (same host) still crosses the HCA, consuming both
-    directions of the port.
+    Hosts wired into a :class:`~repro.hw.topology.Topology` route
+    through it: the path is the host ports plus every switch hop the
+    topology's static routing crosses.  Directly-attached hosts keep
+    the legacy crossbar semantics — a non-blocking backplane whose only
+    contention points are the source's egress and the destination's
+    ingress port.  Loopback (same host) still crosses the HCA,
+    consuming both directions of the port.
     """
     if not src.is_attached or not dst.is_attached:
         raise ConfigError("both hosts must be attached to the fabric")
-    assert src.tx_link is not None and dst.rx_link is not None
+    if src.topology is not dst.topology:
+        raise ConfigError(
+            f"hosts {src.name!r} and {dst.name!r} are wired into "
+            "different topologies; no route exists between them"
+        )
+    if src.topology is not None:
+        return src.topology.path(src, dst)
+    if src.tx_link is None or dst.rx_link is None:
+        raise ConfigError(
+            f"hosts {src.name!r}/{dst.name!r} are half-attached: "
+            "missing a tx or rx port link"
+        )
     return [src.tx_link, dst.rx_link]

@@ -284,9 +284,25 @@ def _run_registry_cell(job: SweepJob) -> Any:
     return fn(seed=job.seed)
 
 
+def _run_cluster_cell(job: SweepJob) -> Dict[str, float]:
+    """Rebuild + run one cluster-scale cell from kwargs.
+
+    ``job.name`` is a :data:`~repro.experiments.cluster.CLUSTER_SPECS`
+    preset; ``spec`` may override ``sim_s``.  The result is a plain
+    float dict, so cluster cells are content-addressed cacheable like
+    scenario cells.
+    """
+    from repro.experiments.cluster import run_cluster
+
+    return run_cluster(
+        job.name, seed=job.seed, sim_s=job.spec.get("sim_s")
+    ).metrics()
+
+
 register_job_kind("scenario", _run_scenario_cell)
 register_job_kind("chaos", _run_chaos_cell)
 register_job_kind("registry", _run_registry_cell)
+register_job_kind("cluster", _run_cluster_cell)
 
 
 # -- the engine --------------------------------------------------------------

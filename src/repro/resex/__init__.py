@@ -1,7 +1,12 @@
 """ResEx: congestion-pricing resource management (the paper's core)."""
 
 from repro.resex.controller import MonitoredVM, ResExController
-from repro.resex.federation import Follower, ResExFederation
+from repro.resex.federation import (
+    ClusterFederation,
+    Follower,
+    RackFollower,
+    ResExFederation,
+)
 from repro.resex.freemarket import FreeMarket
 from repro.resex.hwshares import HwShares
 from repro.resex.interference import InterferenceDetector, LatencySLA
@@ -17,10 +22,12 @@ from repro.resex.resos import ResoAccount, ResoParams, provision_accounts
 from repro.resex.static_ratio import StaticRatio
 
 __all__ = [
+    "ClusterFederation",
     "Follower",
     "FreeMarket",
     "HwShares",
     "IOShares",
+    "RackFollower",
     "ResExFederation",
     "InterferenceDetector",
     "LatencySLA",

@@ -86,6 +86,11 @@ class ResExController:
         self.mtu_window = mtu_window
         self.weights = weights
         self.vms: List[MonitoredVM] = []
+        #: Cluster-wide congestion price imposed by a
+        #: :class:`~repro.resex.federation.ClusterFederation` (1.0 =
+        #: calm).  Cluster-following policies (rack-follower) read it
+        #: every interval; purely local deployments never touch it.
+        self.cluster_price = 1.0
         self.probes = ProbeSet(self.env, prefix="resex")
         self.intervals_run = 0
         self.epochs_run = 0
@@ -131,6 +136,15 @@ class ResExController:
             if vm.domid == domid:
                 return vm
         raise PricingError(f"domain {domid} is not monitored")
+
+    def local_price(self) -> float:
+        """The highest charge rate currently imposed on any managed VM
+        — what this rack reports to a :class:`ClusterFederation`."""
+        price = 1.0
+        for vm in self.vms:
+            if vm.charge_rate > price:
+                price = vm.charge_rate
+        return price
 
     # -- start ------------------------------------------------------------------
     def start(self) -> None:

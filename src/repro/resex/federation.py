@@ -17,6 +17,21 @@ across machines; this module implements that deployment:
 With the interferer priced on both hosts, its inbound request stream
 throttles along with its responses, removing the residual ingress
 interference a single-sided deployment leaves behind.
+
+At cluster scale the same idea becomes the core abstraction rather
+than a two-host afterthought:
+
+* :class:`RackFollower` — a Follower variant whose imposed price is
+  the controller-wide :attr:`~repro.resex.controller.ResExController.
+  cluster_price` a federation maintains, instead of a per-VM relay.
+* :class:`ClusterFederation` — one ResEx controller per rack, with
+  congestion prices gossiped across racks **over the simulated
+  fabric**: each sync round the rack heads send their local price to
+  the first-registered rack (the coordinator), which reduces them to
+  the cluster price and broadcasts it back.  Every control message is
+  a real fabric transfer along the topology's static route, so price
+  propagation contends for (and is delayed by) the very links it is
+  trying to govern.
 """
 
 from __future__ import annotations
@@ -24,8 +39,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Tuple
 
 from repro.errors import PricingError
+from repro.hw.fabric import FluidFabric
+from repro.hw.host import path_between
 from repro.resex.ioshares import IOShares
 from repro.resex.policy import register_policy
+from repro.sim.events import AllOf
 from repro.units import US
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -82,6 +100,17 @@ class ResExFederation:
         # Validate both ends exist now rather than at first sync.
         p_ctl.vm_by_domid(p_domid)
         f_ctl.vm_by_domid(f_domid)
+        for q_ctl, q_domid, g_ctl, g_domid in self._links:
+            # A follower VM with two feeding links would be rewritten
+            # by both every sync round — last writer wins on
+            # ``charge_rate``, silently, in link-registration order.
+            # Reject the duplicate instead of racing.
+            if g_ctl is f_ctl and g_domid == f_domid:
+                raise PricingError(
+                    f"domain {f_domid} is already the follower of a "
+                    "federation link; duplicate links would race on its "
+                    "charge rate"
+                )
         self._links.append((p_ctl, p_domid, f_ctl, f_domid))
 
     def start(self) -> None:
@@ -106,3 +135,140 @@ class ResExFederation:
 
     def __repr__(self) -> str:
         return f"<ResExFederation links={len(self._links)} syncs={self.syncs}>"
+
+
+@register_policy
+class RackFollower(IOShares):
+    """Applies the cluster-wide congestion price a
+    :class:`ClusterFederation` maintains to every managed VM, then
+    charges and actuates like IOShares.  No local interference
+    detection: racks that only host the remote halves of cross-rack
+    flows run this, so a price discovered in one rack throttles the
+    flows' other ends everywhere."""
+
+    name = "rack-follower"
+
+    def on_interval(self, controller: "ResExController") -> None:
+        price = controller.cluster_price
+        for vm in controller.vms:
+            vm.charge_rate = price
+            self._charge_and_actuate(controller, vm)
+
+
+class ClusterFederation:
+    """Per-rack ResEx controllers with fabric-borne price gossip.
+
+    One controller per rack registers under its rack id.  Every sync
+    round the non-coordinator rack heads each send one control message
+    (a real fabric transfer along the topology's static route) to the
+    coordinator — the first-registered rack — carrying their local
+    price (the rack's highest VM charge rate, sampled at send time).
+    The coordinator reduces them with ``max`` and broadcasts the
+    cluster price back the same way; only when the last broadcast
+    message lands is :attr:`ResExController.cluster_price` updated on
+    every rack, so price propagation pays the latency and contention of
+    the very fabric it governs.
+
+    ``paused`` is the :mod:`repro.faults` hook: while set, sync rounds
+    fire but their messages are lost and every rack keeps its stale
+    price — the same semantics as :class:`ResExFederation`.
+    """
+
+    def __init__(
+        self,
+        env,
+        fabric: FluidFabric,
+        sync_interval_ns: int = 1_000_000,
+        payload_bytes: int = 256,
+    ) -> None:
+        if sync_interval_ns <= 0:
+            raise PricingError("sync interval must be positive")
+        if payload_bytes < 0:
+            raise PricingError("payload size must be >= 0")
+        self.env = env
+        self.fabric = fabric
+        self.sync_interval_ns = sync_interval_ns
+        self.payload_bytes = payload_bytes
+        self._racks: List[Tuple[int, "ResExController"]] = []
+        #: The current cluster-wide congestion price (1.0 = calm).
+        self.cluster_price = 1.0
+        self.syncs = 0
+        self.syncs_lost = 0
+        self.paused = False
+        self._proc = None
+
+    def register(self, rack_id: int, controller: "ResExController") -> None:
+        """Register ``controller`` as rack ``rack_id``'s manager.
+
+        The first registration becomes the coordinator rack.
+        """
+        if self._proc is not None:
+            raise PricingError(
+                "cannot register racks after the federation started"
+            )
+        if any(rid == rack_id for rid, _ in self._racks):
+            raise PricingError(f"rack {rack_id} is already registered")
+        if any(ctl is controller for _, ctl in self._racks):
+            raise PricingError(
+                "controller is already registered under another rack"
+            )
+        self._racks.append((rack_id, controller))
+
+    @property
+    def racks(self) -> Tuple[Tuple[int, "ResExController"], ...]:
+        return tuple(self._racks)
+
+    def start(self) -> None:
+        if len(self._racks) < 2:
+            raise PricingError("a cluster federation needs at least two racks")
+        if self._proc is None:
+            self._proc = self.env.process(
+                self._run(), name="resex-cluster-federation"
+            )
+
+    def _messages(
+        self, pairs: List[Tuple[object, object]], label: str
+    ) -> AllOf:
+        """One control transfer per (src_host, dst_host) pair."""
+        done = [
+            self.fabric.submit(
+                path_between(src, dst), self.payload_bytes, f"fed.{label}.{i}"
+            ).done
+            for i, (src, dst) in enumerate(pairs)
+        ]
+        return AllOf(self.env, done)
+
+    def _run(self):
+        coord = self._racks[0][1]
+        coord_host = coord.node.host
+        while True:
+            yield self.env.timeout(self.sync_interval_ns)
+            if self.paused:
+                # Federation down: this round's messages are lost and
+                # every rack keeps applying its stale price.
+                self.syncs_lost += 1
+                continue
+            # Gather: prices are sampled at send time — what the wire
+            # carries — in registration order (deterministic max).
+            prices = [coord.local_price()]
+            prices += [ctl.local_price() for _, ctl in self._racks[1:]]
+            yield self._messages(
+                [(ctl.node.host, coord_host) for _, ctl in self._racks[1:]],
+                "gather",
+            )
+            price = max(prices)
+            # Broadcast the reduced price back to every rack head.
+            yield self._messages(
+                [(coord_host, ctl.node.host) for _, ctl in self._racks[1:]],
+                "cast",
+            )
+            self.cluster_price = price
+            for _, ctl in self._racks:
+                ctl.cluster_price = price
+            self.syncs += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterFederation racks={len(self._racks)} "
+            f"price={self.cluster_price:.2f} syncs={self.syncs}>"
+        )

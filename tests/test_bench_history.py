@@ -1,0 +1,60 @@
+"""Tests for BENCH_perf.json history preservation (write_bench_json)."""
+
+import json
+
+from repro.bench import BENCH_HISTORY_LIMIT, WORKLOADS, write_bench_json
+
+
+def _doc(marker: str) -> dict:
+    return {
+        "schema": "repro-bench/1",
+        "version": marker,
+        "benchmarks": {"kernel_timeout_ping": {"process_s_best": 0.1}},
+    }
+
+
+class TestWriteBenchJson:
+    def test_first_write_has_empty_history(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_bench_json(path, _doc("v1"))
+        doc = json.loads(path.read_text())
+        assert doc["version"] == "v1"
+        assert doc["history"] == []
+
+    def test_rerun_demotes_prior_run_into_history(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_bench_json(path, _doc("v1"))
+        write_bench_json(path, _doc("v2"))
+        write_bench_json(path, _doc("v3"))
+        doc = json.loads(path.read_text())
+        assert doc["version"] == "v3"
+        # Newest first, and the demoted entries carry no nested history.
+        assert [h["version"] for h in doc["history"]] == ["v2", "v1"]
+        assert all("history" not in h for h in doc["history"])
+
+    def test_history_is_capped(self, tmp_path):
+        path = tmp_path / "bench.json"
+        for i in range(BENCH_HISTORY_LIMIT + 5):
+            write_bench_json(path, _doc(f"v{i}"))
+        doc = json.loads(path.read_text())
+        assert len(doc["history"]) == BENCH_HISTORY_LIMIT
+
+    def test_foreign_file_is_overwritten_without_history(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text('{"something": "else"}')
+        write_bench_json(path, _doc("v1"))
+        doc = json.loads(path.read_text())
+        assert doc["version"] == "v1"
+        assert doc["history"] == []
+
+    def test_corrupt_file_does_not_fail_the_write(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("not json {{{")
+        write_bench_json(path, _doc("v1"))
+        assert json.loads(path.read_text())["version"] == "v1"
+
+
+def test_cluster_scale_workload_registered():
+    fn, description = WORKLOADS["cluster_scale"]
+    assert "256-host" in description
+    assert callable(fn)

@@ -1,0 +1,161 @@
+"""Tests for the cluster-scale scenario layer (repro.experiments.cluster)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.experiments.cluster import (
+    CLUSTER_SPECS,
+    ClusterSpec,
+    build_cluster,
+    cluster_spec,
+    run_cluster,
+)
+from repro.parallel import SweepJob, run_sweep
+from repro.sim import invariants
+
+#: A deliberately tiny spec so most tests run in well under a second.
+TINY = ClusterSpec(
+    name="tiny",
+    racks=2, hosts_per_rack=2, spines=1,
+    vms_per_host=2, n_flows=40, sim_s=0.02,
+)
+
+
+class TestSpecs:
+    def test_presets_registered(self):
+        assert {"cluster_smoke", "cluster_scale", "cluster_fat_tree"} <= set(
+            CLUSTER_SPECS
+        )
+        scale = cluster_spec("cluster_scale")
+        assert scale.n_hosts == 256
+        assert scale.n_vms == 2048
+        assert scale.n_flows == 2000
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigError, match="unknown cluster preset"):
+            cluster_spec("nope")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="unknown topology"):
+            ClusterSpec(name="x", topology="torus")
+        with pytest.raises(ConfigError, match="at least two racks"):
+            ClusterSpec(name="x", racks=1)
+        with pytest.raises(ConfigError, match="intra_rack_frac"):
+            ClusterSpec(name="x", intra_rack_frac=1.5)
+        with pytest.raises(ConfigError, match="flow_bytes"):
+            ClusterSpec(name="x", flow_bytes_min=0)
+
+    def test_fat_tree_shape(self):
+        spec = cluster_spec("cluster_fat_tree")
+        assert spec.n_hosts == 128  # k=8 -> k^3/4
+        assert spec.n_racks == 32   # one rack per edge switch
+
+
+class TestRun:
+    def test_tiny_cluster_end_to_end(self):
+        with invariants.activate("record") as monitor:
+            result = run_cluster(TINY, seed=3)
+        assert not monitor.tainted, monitor.violations
+        m = result.metrics()
+        assert m["hosts"] == 4.0
+        assert m["vms"] == 8.0
+        assert m["flows_completed"] > 0
+        assert m["flow_p99_us"] > 0
+        # Per-rack controllers synced prices over the fabric.
+        assert m["federation_syncs"] > 0
+        # The reporting pair produced real monitored traffic.
+        assert m["reporting_p50_us"] > 0
+        # Reallocation stayed component-local for a healthy fraction
+        # of solves (disjoint intra-rack components exist by design).
+        assert 0.0 < m["solver_component_frac"] <= 1.0
+        assert m["solver_max_component"] >= 2
+
+    def test_deterministic_across_runs(self):
+        m1 = run_cluster(TINY, seed=5).metrics()
+        m2 = run_cluster(TINY, seed=5).metrics()
+        assert m1 == m2
+
+    def test_seed_changes_flows(self):
+        r1 = run_cluster(TINY, seed=1)
+        r2 = run_cluster(TINY, seed=2)
+        assert [f.label for f in r1.flows] != [f.label for f in r2.flows]
+
+    def test_flows_respect_rack_mix(self):
+        spec = ClusterSpec(
+            name="mix", racks=2, hosts_per_rack=2, spines=1,
+            vms_per_host=1, n_flows=120, sim_s=0.02,
+            intra_rack_frac=0.0, with_resex=False,
+        )
+        result = run_cluster(spec, seed=3)
+        assert all(f.cross_rack for f in result.flows)
+
+    def test_without_resex(self):
+        spec = ClusterSpec(
+            name="bare", racks=2, hosts_per_rack=1, spines=1,
+            vms_per_host=1, n_flows=10, sim_s=0.01, with_resex=False,
+        )
+        setup = build_cluster(spec, seed=3)
+        assert setup.federation is None and not setup.controllers
+        m = setup.execute().metrics()
+        assert m["federation_syncs"] == 0.0
+        assert "reporting_p50_us" not in m
+
+    def test_rack_head_wiring(self):
+        setup = build_cluster(TINY, seed=3)
+        assert len(setup.rack_heads) == 2
+        assert len(setup.controllers) == 2
+        assert setup.federation is not None
+        assert len(setup.federation.racks) == 2
+        # Rack heads host the controllers, in rack order.
+        for head, ctl in zip(setup.rack_heads, setup.controllers):
+            assert ctl.node is head
+
+
+class TestSweepIntegration:
+    def test_cluster_cells_are_cacheable(self, tmp_path):
+        cells = [SweepJob("cluster", "cluster_smoke", 7, {"sim_s": 0.02})]
+        cold = run_sweep(cells, workers=1, cache=str(tmp_path))
+        warm = run_sweep(cells, workers=1, cache=str(tmp_path))
+        assert cold.report.cached == 0
+        assert warm.report.cached == 1
+        assert warm.cells[0].metrics == cold.cells[0].metrics
+        assert cold.cells[0].metrics["hosts"] == 16.0
+
+    def test_run_cluster_set(self):
+        from repro.experiments import run_cluster_set
+
+        results, report = run_cluster_set(
+            ["cluster_smoke"], seed=7, sim_s=0.02
+        )
+        assert set(results) == {"cluster_smoke"}
+        assert results["cluster_smoke"]["flows_completed"] >= 0
+        assert report.executed == 1 and report.errors == 0
+
+    def test_run_cluster_set_unknown_name(self):
+        from repro.experiments import run_cluster_set
+
+        with pytest.raises(ConfigError, match="unknown cluster presets"):
+            run_cluster_set(["bogus"])
+
+
+class TestClusterCommand:
+    def test_list(self, capsys):
+        assert main(["cluster", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster_scale" in out and "leaf-spine" in out
+
+    def test_json_run_with_invariants(self, capsys):
+        code = main(
+            ["cluster", "cluster_smoke", "--sim-s", "0.02",
+             "--invariants", "record", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tainted"] is False
+        assert doc["metrics"]["hosts"] == 16.0
+
+    def test_unknown_preset_is_clean_error(self, capsys):
+        assert main(["cluster", "bogus"]) != 0
