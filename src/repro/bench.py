@@ -267,6 +267,52 @@ def cluster_scale(sim_s: float = 0.25) -> Dict[str, Any]:
     }
 
 
+def service_throughput(requests: int = 2000) -> Dict[str, Any]:
+    """The ResEx service gateway under seeded open-loop load.
+
+    One sim-mode gateway and one load-generator client share an asyncio
+    loop over a real localhost socket — the full wire path (framing,
+    handshake, per-client queue, orchestrator lock, DES world) with no
+    network variance.  ``meta`` carries the service-level numbers the
+    ISSUE acceptance pins: achieved requests/s and the gateway's
+    p50/p99 per-request overhead (enqueue to response written).
+    """
+    import asyncio
+
+    from repro.service import (
+        Orchestrator,
+        ServiceConfig,
+        ServiceGateway,
+        SimBackend,
+        run_loadgen,
+    )
+
+    async def _run():
+        gateway = ServiceGateway(
+            Orchestrator(SimBackend(ServiceConfig(), seed=7))
+        )
+        await gateway.start()
+        try:
+            report = await run_loadgen(
+                "127.0.0.1", gateway.port, requests=requests, seed=7
+            )
+        finally:
+            await gateway.stop()
+        return report, gateway.stats()
+
+    report, stats = asyncio.run(_run())
+    d = report.to_dict()
+    return {
+        "requests": d["requests"],
+        "rps": d["rps"],
+        "ok": d["ok"],
+        "rejected": d["rejected"],
+        "p50_overhead_us": stats["p50_overhead_us"],
+        "p99_overhead_us": stats["p99_overhead_us"],
+        "digest12": report.digest[:12],
+    }
+
+
 #: name -> (workload, one-line description).
 WORKLOADS: Dict[str, Tuple[Callable[[], Dict[str, Any]], str]] = {
     "headline_managed": (
@@ -295,6 +341,10 @@ WORKLOADS: Dict[str, Tuple[Callable[[], Dict[str, Any]], str]] = {
     "cluster_scale": (
         cluster_scale,
         "256-host leaf-spine cluster: 2048 VMs, 2000 flows, price federation",
+    ),
+    "service_throughput": (
+        service_throughput,
+        "sim-mode service gateway + loadgen over localhost, 2000 requests",
     ),
 }
 

@@ -229,6 +229,86 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service_gateway(args: argparse.Namespace):
+    from repro.service import (
+        LiveBackend,
+        Orchestrator,
+        ServiceConfig,
+        ServiceGateway,
+        SimBackend,
+    )
+
+    config = ServiceConfig(slots=args.slots, policy=args.policy)
+    backend_cls = SimBackend if args.mode == "sim" else LiveBackend
+    backend = backend_cls(config, seed=args.seed)
+    return ServiceGateway(
+        Orchestrator(backend),
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        logger=get_logger(),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the ResEx service gateway until SIGTERM/SIGINT."""
+    import asyncio
+    import signal
+
+    gateway = _build_service_gateway(args)
+
+    async def _serve() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await gateway.start()
+        # The bound port goes to stdout so scripts can scrape it when
+        # asking for an ephemeral port (--port 0).
+        print(f"listening {gateway.host}:{gateway.port} mode={args.mode}", flush=True)
+        try:
+            await stop.wait()
+        finally:
+            get_logger().info("shutting down service gateway")
+            await gateway.stop()
+
+    asyncio.run(_serve())
+    stats = gateway.stats()
+    get_logger().info(
+        f"served {stats['requests_served']} requests over "
+        f"{stats['sessions_opened']} session(s), "
+        f"rejected {stats['requests_rejected']}"
+    )
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Fire a seeded synthetic load at a running service gateway."""
+    import asyncio
+    import json as _json
+
+    from repro.service import run_loadgen
+
+    report = asyncio.run(
+        run_loadgen(
+            args.host,
+            args.port,
+            requests=args.requests,
+            vms=args.vms,
+            seed=args.seed,
+            arrivals=args.arrivals,
+            rate_per_s=args.rate,
+            window=args.window,
+            connect_retries=args.retries,
+        )
+    )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -840,6 +920,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.set_defaults(func=_cmd_cluster)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the ResEx service gateway (live wall-clock epochs or "
+        "deterministic sim) until SIGTERM/SIGINT",
+    )
+    add_verbosity_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7741, help="0 binds an ephemeral port"
+    )
+    serve.add_argument(
+        "--mode",
+        choices=["live", "sim"],
+        default="live",
+        help="clock policy: live wall-clock epochs, or sim virtual time "
+        "stepped from request at_ns offsets (default live)",
+    )
+    serve.add_argument(
+        "--slots", type=int, default=8, help="admission capacity (guest slots)"
+    )
+    serve.add_argument("--policy", default="freemarket")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="per-client request queue depth before overload rejection",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="fire a seeded open-loop synthetic load at a running "
+        "service gateway and print the response-log digest",
+    )
+    add_verbosity_args(loadgen)
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7741)
+    loadgen.add_argument("--requests", type=int, default=1000)
+    loadgen.add_argument(
+        "--vms", type=int, default=4, help="tenants admitted up front"
+    )
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument(
+        "--arrivals",
+        choices=["constant", "bursty", "diurnal"],
+        default="constant",
+        help="open-loop arrival process (default constant-rate Poisson)",
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=20_000.0,
+        help="mean arrival rate in requests/s of virtual time",
+    )
+    loadgen.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        help="max requests in flight on the connection",
+    )
+    loadgen.add_argument(
+        "--retries",
+        type=int,
+        default=25,
+        help="connection attempts before giving up (covers racing a "
+        "server that is still binding)",
+    )
+    loadgen.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
+
     trace = sub.add_parser(
         "trace",
         help="run a scenario with full-stack tracing and write a Chrome "
@@ -1102,7 +1255,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except ReproError as exc:
         # Structured errors map to stable exit codes (see repro.errors):
-        # config 2, sweep 3, invariant 4, cache corruption 5.
+        # config 2, sweep 3, invariant 4, cache corruption 5, service 6.
         print(f"repro: error [{exc.code}]: {exc}", file=sys.stderr)
         return exc.exit_code
 

@@ -202,6 +202,101 @@ class Uncacheable(ReproError):
     code = "uncacheable"
 
 
+class ServiceError(ReproError):
+    """Errors from the live serving layer (:mod:`repro.service`).
+
+    The subtree's :attr:`code` values double as wire error codes: the
+    gateway folds a raised :class:`ServiceError` into an ``err`` frame
+    carrying ``exc.code``, and the client library re-raises the matching
+    class on its side, so one stable vocabulary covers the process exit
+    status (6), the JSON error summaries and the protocol itself.
+    """
+
+    code = "service"
+    exit_code = 6
+
+
+class ProtocolError(ServiceError):
+    """A malformed, truncated or out-of-contract wire frame.
+
+    Connection-fatal: once framing is broken the byte stream cannot be
+    trusted, so the gateway sends one final ``err`` frame (when it still
+    can) and closes the connection.
+    """
+
+    code = "service-protocol"
+
+
+class HandshakeError(ServiceError):
+    """The client hello was missing, malformed or version-incompatible."""
+
+    code = "service-handshake"
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame header announced a payload over the configured limit."""
+
+    code = "service-frame"
+
+
+class Overloaded(ServiceError):
+    """The gateway's bounded request queue for this client is full.
+
+    Backpressure is explicit: the request is rejected immediately with
+    this code instead of being buffered without bound; the connection
+    stays open and the client may retry.
+    """
+
+    code = "service-overloaded"
+
+
+class SessionError(ServiceError):
+    """A request arrived outside a valid session (no handshake, or the
+    session was torn down)."""
+
+    code = "service-session"
+
+
+class AdmissionError(ServiceError):
+    """VM admission failed: capacity exhausted, duplicate name, or an
+    operation referenced a VM that was never admitted."""
+
+    code = "service-admission"
+
+
+class ServiceBackendError(ServiceError):
+    """The backend failed while executing an accepted request.
+
+    Wraps unexpected backend exceptions so they surface as a structured
+    error frame on the wire instead of tearing down the gateway.
+    """
+
+    code = "service-backend"
+
+
+#: Wire error code -> exception class, for the client library to
+#: re-raise what the gateway folded into an ``err`` frame.
+SERVICE_ERROR_CODES = {
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        ProtocolError,
+        HandshakeError,
+        FrameTooLarge,
+        Overloaded,
+        SessionError,
+        AdmissionError,
+        ServiceBackendError,
+    )
+}
+
+
+def service_error_from_code(code: str, message: str) -> ServiceError:
+    """Rebuild the :class:`ServiceError` subclass a wire code names."""
+    cls = SERVICE_ERROR_CODES.get(code, ServiceError)
+    return cls(message)
+
+
 __all__ = [
     "ReproError",
     "SimulationError",
@@ -223,4 +318,14 @@ __all__ = [
     "InvariantViolation",
     "CacheCorruption",
     "Uncacheable",
+    "ServiceError",
+    "ProtocolError",
+    "HandshakeError",
+    "FrameTooLarge",
+    "Overloaded",
+    "SessionError",
+    "AdmissionError",
+    "ServiceBackendError",
+    "SERVICE_ERROR_CODES",
+    "service_error_from_code",
 ]

@@ -25,6 +25,7 @@ from repro.experiments.suite import (
     run_cluster_set,
     run_figure_set,
     run_registry_set,
+    run_service_set,
 )
 from repro.supervise import resume_sweep, supervised_sweep
 from repro.experiments.platform import Node, Testbed
@@ -71,6 +72,7 @@ __all__ = [
     "run_figure_set",
     "run_registry_set",
     "run_scenario",
+    "run_service_set",
     "scale_factor",
     "supervised_sweep",
     "sweep_chaos",

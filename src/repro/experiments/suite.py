@@ -110,6 +110,43 @@ def run_cluster_set(
     )
 
 
+def run_service_set(
+    names: Optional[Sequence[str]] = None,
+    *,
+    seed: int = 7,
+    jobs: int = 1,
+    requests: Optional[int] = None,
+    telemetry=None,
+) -> Tuple[Dict[str, Dict[str, float]], SweepReport]:
+    """Run service-replay presets as ``service`` cells.
+
+    ``names=None`` runs every :data:`~repro.service.replay.
+    SERVICE_SPECS` preset (the ``service_replay`` scenario family).
+    Service cells are deterministic in-process replays of the ResEx
+    gateway's sim backend, return float metric dicts — including the
+    response-log ``digest48`` — and are content-addressed cacheable.
+    """
+    from repro.service.replay import SERVICE_SPECS
+
+    if names is None:
+        names = list(SERVICE_SPECS)
+    unknown = [n for n in names if n not in SERVICE_SPECS]
+    if unknown:
+        raise ConfigError(
+            f"unknown service presets {unknown} (have {sorted(SERVICE_SPECS)})"
+        )
+    spec: Dict[str, object] = {}
+    if requests is not None:
+        spec["requests"] = int(requests)
+    cells = [SweepJob("service", name, int(seed), dict(spec)) for name in names]
+    result = run_sweep(cells, workers=jobs, telemetry=telemetry)
+    _check_complete(result, "service")
+    return (
+        {name: cell.metrics for name, cell in zip(names, result.cells)},
+        result.report,
+    )
+
+
 def run_figure_set(
     names: Optional[Sequence[str]] = None,
     *,

@@ -299,10 +299,28 @@ def _run_cluster_cell(job: SweepJob) -> Dict[str, float]:
     ).metrics()
 
 
+def _run_service_cell(job: SweepJob) -> Dict[str, float]:
+    """Rebuild + run one deterministic service replay cell.
+
+    ``job.name`` is a :data:`~repro.service.replay.SERVICE_SPECS`
+    preset; ``spec`` entries override the preset (e.g. a smaller
+    ``requests`` for smoke runs).  The metrics include ``digest48``
+    (the first 48 bits of the response-log digest as a float), so a
+    cache hit is also a determinism check: a warm cell that replays to
+    a different digest would surface as a metric mismatch.
+    """
+    from repro.service.replay import run_service_replay
+
+    return run_service_replay(
+        job.name, seed=job.seed, overrides=dict(job.spec) or None
+    ).metrics()
+
+
 register_job_kind("scenario", _run_scenario_cell)
 register_job_kind("chaos", _run_chaos_cell)
 register_job_kind("registry", _run_registry_cell)
 register_job_kind("cluster", _run_cluster_cell)
+register_job_kind("service", _run_service_cell)
 
 
 # -- the engine --------------------------------------------------------------

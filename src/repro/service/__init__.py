@@ -1,0 +1,56 @@
+"""ResEx-as-a-service: gateway, orchestrator and swappable backends.
+
+The paper's resource exchange, served: a versioned length-prefixed
+JSON wire protocol (:mod:`repro.service.protocol`), an asyncio gateway
+with bounded per-client queues and explicit overload rejection
+(:mod:`repro.service.gateway`), an orchestrator that validates and
+serializes every request (:mod:`repro.service.orchestrator`), and two
+backends over one served DES world (:mod:`repro.service.backend`):
+``live`` (wall-clock epochs) and ``sim`` (virtual-time-stepped,
+byte-deterministic).  :mod:`repro.service.client` is the client
+library, :mod:`repro.service.loadgen` the seeded load generator and
+:mod:`repro.service.replay` the in-process deterministic replay the
+golden fixture and the sweep engine's ``service`` job kind run on.
+"""
+
+from repro.service.backend import OPERATIONS, LiveBackend, ResExBackend, SimBackend
+from repro.service.client import ServiceClient
+from repro.service.gateway import ServiceGateway
+from repro.service.loadgen import (
+    ARRIVAL_KINDS,
+    LoadgenReport,
+    arrival_offsets,
+    build_trace,
+    response_digest,
+    run_loadgen,
+    run_trace,
+)
+from repro.service.orchestrator import OP_SCHEMAS, Orchestrator, validate_params
+from repro.service.protocol import PROTOCOL
+from repro.service.replay import SERVICE_SPECS, ReplayResult, run_service_replay
+from repro.service.world import ResExWorld, ServiceConfig
+
+__all__ = [
+    "PROTOCOL",
+    "OPERATIONS",
+    "OP_SCHEMAS",
+    "ARRIVAL_KINDS",
+    "SERVICE_SPECS",
+    "ServiceConfig",
+    "ResExWorld",
+    "ResExBackend",
+    "SimBackend",
+    "LiveBackend",
+    "Orchestrator",
+    "validate_params",
+    "ServiceGateway",
+    "ServiceClient",
+    "LoadgenReport",
+    "arrival_offsets",
+    "build_trace",
+    "response_digest",
+    "run_trace",
+    "run_loadgen",
+    "ReplayResult",
+    "run_service_replay",
+]

@@ -1,0 +1,201 @@
+"""Swappable service backends: one world, two clock policies.
+
+The orchestrator routes every request through a :class:`ResExBackend`.
+Both implementations mount the *same* :class:`~repro.service.world.
+ResExWorld` (real DES testbed, live ResEx controller, fluid-fabric
+order flow) and expose the same operations, so the orchestrator,
+gateway, client and load generator are tested bit-for-bit against the
+code that would serve production traffic — the live/sim duality of
+LiveStack and of Stier et al.'s cloud-middleware simulation (PAPERS.md):
+
+* :class:`SimBackend` steps the world's virtual clock from request
+  arrival offsets (``at_ns``).  A fixed seed and a fixed request trace
+  therefore yield byte-identical responses — million-request scale,
+  deterministic, no hardware.  ``flush`` *drains*: the DES runs until
+  every in-flight order completes, so the response carries the full
+  completion log.
+* :class:`LiveBackend` slaves the world's clock to the wall clock: an
+  asyncio ticker advances the DES to ``elapsed wall ns`` every tick,
+  so controller epochs (Reso replenishment, pricing intervals) pass in
+  real time between requests.  ``flush`` only *collects* what real
+  time has already completed; orders still in flight stay pending.
+
+Backends are deliberately not thread-safe: the orchestrator serializes
+access (one request at a time touches the world), which is also what
+makes sim-mode responses independent of client interleaving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.service.world import ResExWorld, ServiceConfig
+
+#: Operations every backend understands (the orchestrator validates
+#: parameter shapes before dispatch).
+OPERATIONS = (
+    "admit",
+    "release",
+    "bid",
+    "ask",
+    "price",
+    "order",
+    "flush",
+    "stats",
+)
+
+
+class ResExBackend:
+    """Shared operation dispatch over a mounted :class:`ResExWorld`."""
+
+    #: ``"sim"`` or ``"live"`` — reported in the handshake welcome.
+    mode = "abstract"
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        seed: int = 7,
+        world: Optional[ResExWorld] = None,
+    ) -> None:
+        self.world = world if world is not None else ResExWorld(config, seed)
+        self.requests_handled = 0
+
+    # -- lifecycle (overridden by live mode) --------------------------------
+    async def start(self) -> None:
+        """Bring the backend up (live mode starts its ticker here)."""
+
+    async def stop(self) -> None:
+        """Tear the backend down."""
+
+    # -- clock policy --------------------------------------------------------
+    def _on_request(self, at_ns: int) -> None:
+        """Advance the world's clock for a request arriving at
+        ``at_ns`` (meaning depends on the mode)."""
+        raise NotImplementedError
+
+    def _flush(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    # -- dispatch ------------------------------------------------------------
+    async def handle(
+        self, op: str, params: Dict[str, Any], at_ns: int = 0
+    ) -> Dict[str, Any]:
+        """Execute one validated operation against the world."""
+        self._on_request(int(at_ns))
+        self.requests_handled += 1
+        w = self.world
+        if op == "admit":
+            return w.admit(params["vm"])
+        if op == "release":
+            return w.release(params["vm"])
+        if op == "bid":
+            return w.bid(params["vm"], params["resos"])
+        if op == "ask":
+            return w.ask(params["vm"], params["resos"])
+        if op == "price":
+            return w.price()
+        if op == "order":
+            return w.order(params["vm"], params["nbytes"])
+        if op == "flush":
+            return self._flush()
+        if op == "stats":
+            stats = w.stats()
+            stats["mode"] = self.mode
+            stats["requests_handled"] = self.requests_handled
+            return stats
+        raise ProtocolError(
+            f"unknown operation {op!r} (have {', '.join(OPERATIONS)})"
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "policy": self.world.controller.policy.name,
+            "slots": self.world.config.slots,
+            "seed": self.world.seed,
+        }
+
+
+class SimBackend(ResExBackend):
+    """The DES behind the service interface, virtual-time-stepped.
+
+    The clock only moves when a request (or drain) moves it, and only
+    forward: a request's ``at_ns`` below the current virtual time is
+    clamped — late arrivals are processed "now", exactly like a real
+    server that cannot rewind.
+    """
+
+    mode = "sim"
+
+    def _on_request(self, at_ns: int) -> None:
+        self.world.advance_to(at_ns)
+
+    def _flush(self) -> Dict[str, Any]:
+        completed = self.world.drain()
+        return {
+            "completed": completed,
+            "pending": 0,
+            "now_ns": self.world.now_ns,
+        }
+
+
+class LiveBackend(ResExBackend):
+    """Real wall-clock epochs: an asyncio ticker drives the world.
+
+    Virtual time tracks elapsed wall time (ns since :meth:`start`), so
+    the controller's 1 ms pricing intervals and 1 s Reso epochs tick in
+    real time whether or not requests arrive.  Request ``at_ns`` stamps
+    are ignored — arrival time is *measured*, not declared.
+    """
+
+    mode = "live"
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        seed: int = 7,
+        world: Optional[ResExWorld] = None,
+        tick_s: float = 0.02,
+    ) -> None:
+        super().__init__(config, seed, world)
+        self.tick_s = float(tick_s)
+        self._t0: Optional[float] = None
+        self._ticker: Optional[asyncio.Task] = None
+
+    def _elapsed_ns(self) -> int:
+        assert self._t0 is not None, "LiveBackend.start() was never awaited"
+        return int((asyncio.get_running_loop().time() - self._t0) * 1e9)
+
+    async def start(self) -> None:
+        if self._ticker is not None:
+            return
+        self._t0 = asyncio.get_running_loop().time()
+        self._ticker = asyncio.create_task(self._tick(), name="resex-ticker")
+
+    async def stop(self) -> None:
+        if self._ticker is not None:
+            self._ticker.cancel()
+            try:
+                await self._ticker
+            except asyncio.CancelledError:
+                pass
+            self._ticker = None
+
+    async def _tick(self) -> None:
+        while True:
+            await asyncio.sleep(self.tick_s)
+            self.world.advance_to(self._elapsed_ns())
+
+    def _on_request(self, at_ns: int) -> None:
+        self.world.advance_to(self._elapsed_ns())
+
+    def _flush(self) -> Dict[str, Any]:
+        self.world.advance_to(self._elapsed_ns())
+        completed = self.world.collect()
+        return {
+            "completed": completed,
+            "pending": len(self.world._pending),
+            "now_ns": self.world.now_ns,
+        }

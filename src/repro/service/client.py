@@ -1,0 +1,242 @@
+"""Client library for the ResEx service wire protocol.
+
+:class:`ServiceClient` speaks ``resex-service/1`` over an asyncio
+stream: it performs the hello/welcome handshake, then lets callers
+pipeline requests — each call to :meth:`ServiceClient.request` gets a
+fresh request id and a future; a single background reader task matches
+``res``/``err`` frames back to their futures by id, so any number of
+requests can be in flight on one connection.  Error frames are
+re-raised as the exact :mod:`repro.errors` service exception the
+gateway caught (``service-overloaded`` → :class:`~repro.errors
+.Overloaded`, and so on), so a caller's ``except`` clauses work the
+same in-process and over the wire.
+
+Convenience wrappers (:meth:`admit`, :meth:`order`, :meth:`flush`, ...)
+cover the full operation surface; the load generator drives the raw
+:meth:`request` path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro.errors import ProtocolError, ServiceError, service_error_from_code
+from repro.service import protocol
+
+
+class ServiceClient:
+    """One pipelined connection to a ResEx service gateway."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        welcome: Dict[str, Any],
+        max_frame: int = protocol.DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self.session = int(welcome["session"])
+        #: Backend mode the server reported at handshake: sim or live.
+        self.mode = str(welcome["mode"])
+        self._next_id = 0
+        self._inflight: Dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name=f"service-client-{self.session}"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        client: str = "repro-client",
+        max_frame: int = protocol.DEFAULT_MAX_FRAME,
+        timeout_s: float = 5.0,
+        retries: int = 0,
+        retry_delay_s: float = 0.2,
+    ) -> "ServiceClient":
+        """Dial, handshake and return a ready client.
+
+        ``retries`` covers the race of dialing a server that is still
+        binding its socket (the CI smoke test's startup path).
+        """
+        last: Optional[Exception] = None
+        for attempt in range(int(retries) + 1):
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout_s
+                )
+                break
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                last = exc
+                if attempt < retries:
+                    await asyncio.sleep(retry_delay_s)
+        else:
+            raise ProtocolError(
+                f"could not connect to {host}:{port}: {last}"
+            ) from last
+        writer.write(
+            protocol.encode_frame(protocol.hello_frame(client), max_frame)
+        )
+        await writer.drain()
+        welcome = await asyncio.wait_for(
+            protocol.read_frame(reader, max_frame), timeout_s
+        )
+        if welcome is None:
+            raise ProtocolError("server closed the connection during handshake")
+        protocol.check_welcome(welcome)
+        return cls(reader, writer, welcome, max_frame)
+
+    async def close(self) -> None:
+        """Close the connection; in-flight requests fail with
+        :class:`~repro.errors.ProtocolError`."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._fail_inflight(ProtocolError("client closed"))
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- plumbing ------------------------------------------------------------
+    def _fail_inflight(self, exc: Exception) -> None:
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._inflight.clear()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await protocol.read_frame(self._reader, self._max_frame)
+                if frame is None:
+                    self._fail_inflight(
+                        ProtocolError("server closed the connection")
+                    )
+                    return
+                self._dispatch(frame)
+        except asyncio.CancelledError:
+            raise
+        except (ServiceError, ConnectionError, OSError) as exc:
+            self._fail_inflight(
+                exc
+                if isinstance(exc, ServiceError)
+                else ProtocolError(f"connection lost: {exc}")
+            )
+
+    def _dispatch(self, frame: Dict[str, Any]) -> None:
+        req_id = frame.get("id")
+        if frame.get("type") == "err":
+            exc = service_error_from_code(
+                str(frame.get("code", "service")), str(frame.get("error", ""))
+            )
+            if req_id is None:
+                # Connection-scoped error (bad framing on our side):
+                # every in-flight request is dead.
+                self._fail_inflight(exc)
+                return
+            future = self._inflight.pop(req_id, None)
+            if future is not None and not future.done():
+                future.set_exception(exc)
+            return
+        future = self._inflight.pop(req_id, None) if req_id is not None else None
+        if future is not None and not future.done():
+            future.set_result(frame.get("data", {}))
+
+    # -- requests ------------------------------------------------------------
+    async def request(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        at_ns: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Send one operation and await its response data.
+
+        Raises the mapped :class:`~repro.errors.ServiceError` subclass
+        if the gateway answers with an ``err`` frame.
+        """
+        if self._closed:
+            raise ProtocolError("client is closed")
+        self._next_id += 1
+        req_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[req_id] = future
+        frame = protocol.request_frame(req_id, op, params, at_ns)
+        try:
+            self._writer.write(protocol.encode_frame(frame, self._max_frame))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._inflight.pop(req_id, None)
+            raise ProtocolError(f"connection lost: {exc}") from exc
+        return await future
+
+    def send_nowait(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        at_ns: Optional[int] = None,
+    ) -> "asyncio.Future":
+        """Fire one request without awaiting; returns its future.
+
+        The open-loop load generator uses this to keep a window of
+        requests in flight on one connection.
+        """
+        if self._closed:
+            raise ProtocolError("client is closed")
+        self._next_id += 1
+        req_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[req_id] = future
+        frame = protocol.request_frame(req_id, op, params, at_ns)
+        self._writer.write(protocol.encode_frame(frame, self._max_frame))
+        return future
+
+    # -- operation surface ---------------------------------------------------
+    async def admit(self, vm: str, at_ns: Optional[int] = None) -> Dict[str, Any]:
+        return await self.request("admit", {"vm": vm}, at_ns)
+
+    async def release(self, vm: str, at_ns: Optional[int] = None) -> Dict[str, Any]:
+        return await self.request("release", {"vm": vm}, at_ns)
+
+    async def bid(
+        self, vm: str, resos: float, at_ns: Optional[int] = None
+    ) -> Dict[str, Any]:
+        return await self.request("bid", {"vm": vm, "resos": resos}, at_ns)
+
+    async def ask(
+        self, vm: str, resos: float, at_ns: Optional[int] = None
+    ) -> Dict[str, Any]:
+        return await self.request("ask", {"vm": vm, "resos": resos}, at_ns)
+
+    async def price(self, at_ns: Optional[int] = None) -> Dict[str, Any]:
+        return await self.request("price", {}, at_ns)
+
+    async def order(
+        self, vm: str, nbytes: int, at_ns: Optional[int] = None
+    ) -> Dict[str, Any]:
+        return await self.request("order", {"vm": vm, "nbytes": nbytes}, at_ns)
+
+    async def flush(self, at_ns: Optional[int] = None) -> Dict[str, Any]:
+        return await self.request("flush", {}, at_ns)
+
+    async def stats(self, at_ns: Optional[int] = None) -> Dict[str, Any]:
+        return await self.request("stats", {}, at_ns)

@@ -1,0 +1,311 @@
+"""Seeded synthetic load: open-loop arrivals, mixed ops, stable digests.
+
+The generator is split so every layer can be tested and replayed on
+its own:
+
+* **Arrival processes** (:func:`arrival_offsets`) — seeded open-loop
+  generators of monotone nanosecond offsets.  ``constant`` is a
+  Poisson process at the target rate, ``bursty`` modulates it with a
+  seeded on/off cycle (5x rate in bursts, 0.2x in gaps), ``diurnal``
+  modulates it sinusoidally over a configurable virtual day.  Open
+  loop means arrivals never wait for responses — the schedule is fixed
+  up front, so overload shows up as queue rejections, not as a
+  politely self-throttling client.
+* **Trace synthesis** (:func:`build_trace`) — turns arrivals into
+  concrete requests: admissions for ``vm0..vmN-1`` first, then a
+  seeded operation mix (order-heavy by default, log-uniform order
+  sizes across the clamp window), a final ``flush``.  A trace is plain
+  data — a list of ``(op, params, at_ns)`` dicts — so the same trace
+  can cross sockets or be replayed in process.
+* **Execution** (:func:`run_trace`) — drives a
+  :class:`~repro.service.client.ServiceClient` with window-limited
+  pipelining and collects every response (or error) into a response
+  log keyed by request id.
+* **Digesting** (:func:`response_digest`) — SHA-256 over the canonical
+  JSON response lines sorted by request id.  In sim mode, fixed seed +
+  fixed trace ⇒ byte-identical log ⇒ equal digest; this is the value
+  the determinism golden and the CI smoke test pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ConfigError, ServiceError
+from repro.service.protocol import canonical_json
+from repro.service.world import MAX_ORDER_BYTES, MIN_ORDER_BYTES
+
+ARRIVAL_KINDS = ("constant", "bursty", "diurnal")
+
+#: Default operation mix (relative weights): order-heavy, like a
+#: trading gateway's steady state.
+DEFAULT_MIX: Dict[str, float] = {
+    "order": 0.70,
+    "price": 0.12,
+    "bid": 0.06,
+    "ask": 0.06,
+    "stats": 0.03,
+    "flush": 0.03,
+}
+
+
+def arrival_offsets(
+    kind: str,
+    count: int,
+    rate_per_s: float,
+    seed: int,
+    *,
+    burst_period_s: float = 0.050,
+    burst_duty: float = 0.3,
+    day_s: float = 1.0,
+) -> List[int]:
+    """Generate ``count`` monotone arrival offsets (ns) at a mean rate.
+
+    ``kind`` picks the modulation: ``constant`` (plain Poisson),
+    ``bursty`` (on/off: 5x rate for ``burst_duty`` of each
+    ``burst_period_s``, 0.2x otherwise) or ``diurnal`` (sinusoidal
+    rate over a virtual day of ``day_s`` seconds).
+    """
+    if kind not in ARRIVAL_KINDS:
+        raise ConfigError(
+            f"unknown arrival kind {kind!r} (have {', '.join(ARRIVAL_KINDS)})"
+        )
+    if count < 0:
+        raise ConfigError(f"count must be >= 0, got {count}")
+    if rate_per_s <= 0:
+        raise ConfigError(f"rate_per_s must be positive, got {rate_per_s}")
+    rng = random.Random(seed)
+    offsets: List[int] = []
+    t_s = 0.0
+    for _ in range(count):
+        if kind == "constant":
+            factor = 1.0
+        elif kind == "bursty":
+            phase = (t_s % burst_period_s) / burst_period_s
+            factor = 5.0 if phase < burst_duty else 0.2
+        else:  # diurnal
+            phase = (t_s % day_s) / day_s
+            factor = max(1.0 + 0.9 * math.sin(2.0 * math.pi * phase), 0.1)
+        t_s += rng.expovariate(rate_per_s * factor)
+        offsets.append(int(t_s * 1e9))
+    return offsets
+
+
+def build_trace(
+    *,
+    requests: int,
+    vms: int = 4,
+    seed: int = 7,
+    arrivals: str = "constant",
+    rate_per_s: float = 20_000.0,
+    mix: Optional[Dict[str, float]] = None,
+    final_flush: bool = True,
+) -> List[Dict[str, Any]]:
+    """Synthesize a seeded request trace.
+
+    The first ``vms`` requests admit ``vm0 .. vm{vms-1}`` (spaced by
+    the arrival process like everything else); the rest draw from the
+    operation ``mix``.  Order sizes are log-uniform across the order
+    clamp window.  The trace ends with a ``flush`` when
+    ``final_flush`` so every completion is harvested.
+    """
+    if vms < 1:
+        raise ConfigError(f"vms must be >= 1, got {vms}")
+    if requests < vms + (1 if final_flush else 0):
+        raise ConfigError(
+            f"requests={requests} cannot cover {vms} admissions"
+            + (" plus the final flush" if final_flush else "")
+        )
+    mix = dict(mix or DEFAULT_MIX)
+    unknown = sorted(set(mix) - {"order", "price", "bid", "ask", "stats", "flush"})
+    if unknown:
+        raise ConfigError(f"unknown ops in mix: {unknown}")
+    ops = sorted(mix)
+    weights = [mix[o] for o in ops]
+    offsets = arrival_offsets(arrivals, requests, rate_per_s, seed)
+    rng = random.Random(seed + 0x5EED)
+    log_lo = math.log(MIN_ORDER_BYTES)
+    log_hi = math.log(MAX_ORDER_BYTES)
+
+    trace: List[Dict[str, Any]] = []
+    for i in range(requests):
+        at_ns = offsets[i]
+        if i < vms:
+            trace.append(
+                {"op": "admit", "params": {"vm": f"vm{i}"}, "at_ns": at_ns}
+            )
+            continue
+        if final_flush and i == requests - 1:
+            trace.append({"op": "flush", "params": {}, "at_ns": at_ns})
+            continue
+        vm = f"vm{rng.randrange(vms)}"
+        (op,) = rng.choices(ops, weights=weights)
+        if op == "order":
+            nbytes = int(math.exp(rng.uniform(log_lo, log_hi)))
+            params: Dict[str, Any] = {"vm": vm, "nbytes": nbytes}
+        elif op in ("bid", "ask"):
+            params = {"vm": vm, "resos": round(rng.uniform(1.0, 64.0), 3)}
+        else:  # price / stats / flush
+            params = {}
+        trace.append({"op": op, "params": params, "at_ns": at_ns})
+    return trace
+
+
+def response_log_lines(responses: Dict[int, Dict[str, Any]]) -> List[str]:
+    """Render a response map (request id -> outcome) as canonical JSON
+    lines sorted by request id."""
+    return [
+        canonical_json({"id": rid, **responses[rid]})
+        for rid in sorted(responses)
+    ]
+
+
+def response_digest(responses: Dict[int, Dict[str, Any]]) -> str:
+    """SHA-256 of the sorted canonical response log."""
+    digest = hashlib.sha256()
+    for line in response_log_lines(responses):
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass
+class LoadgenReport:
+    """Everything one load-generator run produced."""
+
+    requests: int
+    ok: int
+    errors: int
+    rejected: int
+    digest: str
+    wall_s: float
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def _pct(self, p: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        lat = sorted(self.latencies_s)
+        idx = min(int(p / 100.0 * len(lat)), len(lat) - 1)
+        return lat[idx] * 1e6
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "digest": self.digest,
+            "wall_s": round(self.wall_s, 6),
+            "rps": round(self.rps, 1),
+            "p50_latency_us": round(self._pct(50.0), 3),
+            "p99_latency_us": round(self._pct(99.0), 3),
+        }
+
+    def render(self) -> str:
+        d = self.to_dict()
+        return (
+            f"loadgen: {d['requests']} requests in {d['wall_s']:.3f}s "
+            f"({d['rps']:.0f} req/s)\n"
+            f"  ok={d['ok']} errors={d['errors']} rejected={d['rejected']}\n"
+            f"  latency p50={d['p50_latency_us']:.1f}us "
+            f"p99={d['p99_latency_us']:.1f}us\n"
+            f"  digest={d['digest']}"
+        )
+
+
+async def run_trace(
+    client,
+    trace: Iterable[Dict[str, Any]],
+    *,
+    window: int = 64,
+) -> LoadgenReport:
+    """Drive a trace through a client with window-limited pipelining.
+
+    At most ``window`` requests are in flight at once; each response
+    (or service error) is folded into the response log.  Rejections
+    (``service-overloaded``) are counted separately from other errors —
+    they are the backpressure working, not a failure.
+    """
+    responses: Dict[int, Dict[str, Any]] = {}
+    latencies: List[float] = []
+    ok = errors = rejected = 0
+    inflight: List[tuple] = []
+    t_start = time.perf_counter()
+
+    async def settle(entry) -> None:
+        nonlocal ok, errors, rejected
+        rid, op, t_sent, future = entry
+        try:
+            data = await future
+            responses[rid] = {"op": op, "ok": True, "data": data}
+            ok += 1
+        except ServiceError as exc:
+            responses[rid] = {"op": op, "ok": False, "code": exc.code,
+                              "error": str(exc)}
+            if exc.code == "service-overloaded":
+                rejected += 1
+            else:
+                errors += 1
+        latencies.append(time.perf_counter() - t_sent)
+
+    n = 0
+    for req in trace:
+        n += 1
+        future = client.send_nowait(req["op"], req["params"], req.get("at_ns"))
+        inflight.append((client._next_id, req["op"], time.perf_counter(), future))
+        if len(inflight) >= window:
+            await settle(inflight.pop(0))
+    while inflight:
+        await settle(inflight.pop(0))
+
+    return LoadgenReport(
+        requests=n,
+        ok=ok,
+        errors=errors,
+        rejected=rejected,
+        digest=response_digest(responses),
+        wall_s=time.perf_counter() - t_start,
+        latencies_s=latencies,
+    )
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    requests: int = 1000,
+    vms: int = 4,
+    seed: int = 7,
+    arrivals: str = "constant",
+    rate_per_s: float = 20_000.0,
+    window: int = 64,
+    client_name: str = "repro-loadgen",
+    connect_retries: int = 25,
+) -> LoadgenReport:
+    """Connect, synthesize a trace, run it, close.  One connection —
+    the deterministic configuration (see docs/architecture.md §15)."""
+    from repro.service.client import ServiceClient
+
+    trace = build_trace(
+        requests=requests,
+        vms=vms,
+        seed=seed,
+        arrivals=arrivals,
+        rate_per_s=rate_per_s,
+    )
+    client = await ServiceClient.connect(
+        host, port, client=client_name, retries=connect_retries
+    )
+    try:
+        return await run_trace(client, trace, window=window)
+    finally:
+        await client.close()

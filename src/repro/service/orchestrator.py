@@ -1,0 +1,153 @@
+"""The orchestrator: validated, serialized routing into a backend.
+
+One :class:`Orchestrator` sits between any number of request sources
+(gateway sessions, the in-process replay harness, the load generator's
+direct mode) and exactly one backend.  It owns three responsibilities:
+
+1. **Validation** — every operation's parameter shape is checked
+   against :data:`OP_SCHEMAS` before the backend sees it, so backends
+   never defend against missing keys or mistyped values; breaches are
+   :class:`~repro.errors.ProtocolError` (stable wire code).
+2. **Serialization** — a single asyncio lock admits one request at a
+   time to the world.  The shared DES world is mutable state; global
+   FIFO admission is what makes sim-mode responses a pure function of
+   the request sequence rather than of client interleaving.
+3. **Accounting** — a global sequence number stamped into every
+   response (proof of serialization order), per-operation counters,
+   and — when a telemetry bus is attached — one ``service``-category
+   record per routed request, stamped with wall-clock nanoseconds
+   since orchestrator start (the service runs in real time even over a
+   virtual-clock backend).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import ProtocolError, ServiceBackendError, ServiceError
+from repro.service.backend import ResExBackend
+from repro.telemetry.bus import SERVICE
+
+#: op -> {param name: (required, type check)}.
+OP_SCHEMAS: Dict[str, Dict[str, tuple]] = {
+    "admit": {"vm": (True, str)},
+    "release": {"vm": (True, str)},
+    "bid": {"vm": (True, str), "resos": (True, (int, float))},
+    "ask": {"vm": (True, str), "resos": (True, (int, float))},
+    "price": {},
+    "order": {"vm": (True, str), "nbytes": (True, int)},
+    "flush": {},
+    "stats": {},
+}
+
+
+def validate_params(op: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Check one operation's parameters against :data:`OP_SCHEMAS`."""
+    schema = OP_SCHEMAS.get(op)
+    if schema is None:
+        raise ProtocolError(
+            f"unknown operation {op!r} (have {', '.join(sorted(OP_SCHEMAS))})"
+        )
+    for key, (required, types) in schema.items():
+        if key not in params:
+            if required:
+                raise ProtocolError(f"operation {op!r} requires param {key!r}")
+            continue
+        value = params[key]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise ProtocolError(
+                f"param {key!r} of {op!r} must be "
+                f"{getattr(types, '__name__', 'number')}, got {value!r}"
+            )
+    unknown = sorted(set(params) - set(schema))
+    if unknown:
+        raise ProtocolError(f"operation {op!r} got unknown params {unknown}")
+    return params
+
+
+class Orchestrator:
+    """Routes operations into one backend, one at a time."""
+
+    def __init__(self, backend: ResExBackend, telemetry=None) -> None:
+        self.backend = backend
+        self.telemetry = telemetry
+        self._lock = asyncio.Lock()
+        self.seq = 0
+        self.op_counts: Dict[str, int] = {}
+        self.error_counts: Dict[str, int] = {}
+        self._t0 = time.perf_counter()
+
+    @property
+    def mode(self) -> str:
+        return self.backend.mode
+
+    async def start(self) -> None:
+        await self.backend.start()
+
+    async def stop(self) -> None:
+        await self.backend.stop()
+
+    def _wall_ns(self) -> int:
+        return int((time.perf_counter() - self._t0) * 1e9)
+
+    async def handle(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        at_ns: int = 0,
+        session: int = 0,
+    ) -> Dict[str, Any]:
+        """Validate, serialize and execute one operation.
+
+        Raises a :class:`~repro.errors.ServiceError` subclass on any
+        failure; unexpected backend exceptions are wrapped in
+        :class:`~repro.errors.ServiceBackendError` so one bad request
+        can never take the service down.
+        """
+        params = validate_params(op, dict(params or {}))
+        async with self._lock:
+            self.seq += 1
+            seq = self.seq
+            try:
+                data = await self.backend.handle(op, params, at_ns)
+            except ServiceError:
+                self.error_counts[op] = self.error_counts.get(op, 0) + 1
+                raise
+            except Exception as exc:
+                self.error_counts[op] = self.error_counts.get(op, 0) + 1
+                raise ServiceBackendError(
+                    f"backend failed on {op!r}: {type(exc).__name__}: {exc}"
+                ) from exc
+            self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        data = dict(data)
+        data["seq"] = seq
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.event(
+                SERVICE,
+                op,
+                self._wall_ns(),
+                lane=f"session-{session}",
+                seq=seq,
+                mode=self.backend.mode,
+            )
+        return data
+
+    async def handle_request(self, frame: Dict[str, Any], session: int = 0) -> Dict[str, Any]:
+        """Convenience: route one validated ``req`` frame dict."""
+        return await self.handle(
+            frame["op"],
+            frame.get("params") or {},
+            at_ns=int(frame.get("at_ns", 0)),
+            session=session,
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "mode": self.backend.mode,
+            "op_counts": dict(sorted(self.op_counts.items())),
+            "error_counts": dict(sorted(self.error_counts.items())),
+        }

@@ -1,0 +1,228 @@
+"""The ResEx service wire protocol: versioned, length-prefixed JSON.
+
+Frames are ``4-byte big-endian length + UTF-8 JSON object``.  The
+length counts the JSON payload only and is bounded by a per-connection
+``max_frame`` (oversized announcements are rejected before a single
+payload byte is read, so a hostile header cannot make the gateway
+allocate).  Four frame types cross the wire:
+
+``hello`` / ``welcome``
+    The client session handshake.  The client speaks first; the
+    gateway answers with the negotiated protocol, a session id and the
+    backend mode (``live`` or ``sim``).  A hello with the wrong
+    protocol string is answered with an ``err`` frame and the
+    connection is closed.
+
+``req``
+    ``{"type": "req", "id": n, "op": ..., "params": {...}, "at_ns": t}``
+    — ``id`` is a client-chosen integer echoed in the answer (clients
+    may pipeline), ``op`` names an orchestrator operation and the
+    optional ``at_ns`` is the request's virtual arrival offset, which
+    a sim-mode backend uses to step the simulation clock.
+
+``res`` / ``err``
+    ``{"type": "res", "id": n, "ok": true, "data": {...}}`` or
+    ``{"type": "err", "id": n, "ok": false, "code": ..., "error": ...}``.
+    Error codes are the stable :mod:`repro.errors` service codes
+    (``service-overloaded``, ``service-admission``, ...), so the client
+    library re-raises the exact exception class the gateway caught.
+
+Everything is a plain ``dict`` until it hits the socket; the encoder
+uses canonical JSON (sorted keys, no whitespace) so identical frames
+are byte-identical — the foundation of the sim-mode determinism golden.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from repro.errors import FrameTooLarge, HandshakeError, ProtocolError
+
+#: Protocol name + version, negotiated at handshake.
+PROTOCOL = "resex-service/1"
+
+#: Default upper bound on one frame's JSON payload (bytes).
+DEFAULT_MAX_FRAME = 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+HEADER_BYTES = _HEADER.size
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON: sorted keys, minimal separators, no NaN."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def encode_frame(obj: Dict[str, Any], max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Serialize one frame (header + canonical JSON payload)."""
+    payload = canonical_json(obj).encode("utf-8")
+    if len(payload) > max_frame:
+        raise FrameTooLarge(
+            f"frame payload is {len(payload)} bytes (limit {max_frame})"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse one frame payload; raises :class:`ProtocolError` if it is
+    not a JSON object."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+async def read_frame(
+    reader, max_frame: int = DEFAULT_MAX_FRAME
+) -> Optional[Dict[str, Any]]:
+    """Read one frame from an asyncio stream reader.
+
+    Returns ``None`` on a clean EOF at a frame boundary.  Raises
+    :class:`ProtocolError` on a truncated frame and
+    :class:`FrameTooLarge` when the header announces a payload over
+    ``max_frame`` — before reading any of it.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)}/"
+            f"{HEADER_BYTES} bytes)"
+        ) from None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameTooLarge(
+            f"frame header announces {length} bytes (limit {max_frame})"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from None
+    return decode_payload(payload)
+
+
+# -- frame builders ----------------------------------------------------------
+
+def hello_frame(client: str) -> Dict[str, Any]:
+    return {"type": "hello", "proto": PROTOCOL, "client": str(client)}
+
+
+def welcome_frame(session: int, mode: str) -> Dict[str, Any]:
+    return {
+        "type": "welcome",
+        "proto": PROTOCOL,
+        "session": int(session),
+        "mode": mode,
+    }
+
+
+def request_frame(
+    req_id: int,
+    op: str,
+    params: Optional[Dict[str, Any]] = None,
+    at_ns: Optional[int] = None,
+) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {
+        "type": "req",
+        "id": int(req_id),
+        "op": str(op),
+        "params": dict(params or {}),
+    }
+    if at_ns is not None:
+        frame["at_ns"] = int(at_ns)
+    return frame
+
+
+def response_frame(req_id: int, data: Dict[str, Any]) -> Dict[str, Any]:
+    return {"type": "res", "id": int(req_id), "ok": True, "data": data}
+
+
+def error_frame(
+    req_id: Optional[int], code: str, message: str
+) -> Dict[str, Any]:
+    return {
+        "type": "err",
+        "id": None if req_id is None else int(req_id),
+        "ok": False,
+        "code": code,
+        "error": message,
+    }
+
+
+# -- frame validation --------------------------------------------------------
+
+def check_hello(frame: Dict[str, Any]) -> str:
+    """Validate a client hello; returns the client name."""
+    if frame.get("type") != "hello":
+        raise HandshakeError(
+            f"expected a hello frame, got type {frame.get('type')!r}"
+        )
+    proto = frame.get("proto")
+    if proto != PROTOCOL:
+        raise HandshakeError(
+            f"protocol mismatch: client speaks {proto!r}, server speaks "
+            f"{PROTOCOL!r}"
+        )
+    return str(frame.get("client", "anonymous"))
+
+
+def check_welcome(frame: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a server welcome; returns it."""
+    if frame.get("type") == "err":
+        raise HandshakeError(
+            f"server rejected handshake [{frame.get('code')}]: "
+            f"{frame.get('error')}"
+        )
+    if frame.get("type") != "welcome":
+        raise HandshakeError(
+            f"expected a welcome frame, got type {frame.get('type')!r}"
+        )
+    if frame.get("proto") != PROTOCOL:
+        raise HandshakeError(
+            f"protocol mismatch: server speaks {frame.get('proto')!r}"
+        )
+    return frame
+
+
+def check_request(frame: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate an inbound request frame's shape; returns it.
+
+    Raises :class:`ProtocolError` — the caller decides whether the
+    breach is per-request (an ``id`` exists to answer on) or fatal.
+    """
+    if frame.get("type") != "req":
+        raise ProtocolError(
+            f"expected a req frame, got type {frame.get('type')!r}"
+        )
+    req_id = frame.get("id")
+    if not isinstance(req_id, int) or isinstance(req_id, bool):
+        raise ProtocolError(f"request id must be an integer, got {req_id!r}")
+    op = frame.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError(f"request op must be a non-empty string, got {op!r}")
+    params = frame.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            f"request params must be an object, got {type(params).__name__}"
+        )
+    at_ns = frame.get("at_ns", 0)
+    if not isinstance(at_ns, int) or isinstance(at_ns, bool) or at_ns < 0:
+        raise ProtocolError(
+            f"request at_ns must be a non-negative integer, got {at_ns!r}"
+        )
+    return frame

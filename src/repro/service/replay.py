@@ -1,0 +1,203 @@
+"""In-process deterministic service replay: no sockets, pure function.
+
+This is the sim-mode service with the wire stripped away: a seeded
+trace (:func:`~repro.service.loadgen.build_trace`) is routed straight
+through an :class:`~repro.service.orchestrator.Orchestrator` mounted
+on a :class:`~repro.service.backend.SimBackend`, and the response log
+is digested exactly as the socket path digests it.  Because the
+orchestrator serializes requests and the sim clock only moves on
+``at_ns``, the digest is a pure function of ``(preset, seed)`` — the
+contract the golden fixture pins and the sweep engine's
+content-addressed cache exploits (the ``service`` job kind runs
+through here).
+
+The digest is a 256-bit hex string; sweep metrics must be floats, so
+:func:`digest48` folds its first 48 bits into an exactly-representable
+float — collisions would need ~16M colliding runs, far beyond what a
+cache-equality check ever sees.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigError, ServiceError
+from repro.service.backend import SimBackend
+from repro.service.loadgen import build_trace, response_digest, response_log_lines
+from repro.service.orchestrator import Orchestrator
+from repro.service.world import ServiceConfig
+
+#: Named replay presets (the ``service_replay`` scenario family).
+SERVICE_SPECS: Dict[str, Dict[str, Any]] = {
+    "service_smoke": {
+        "requests": 500,
+        "vms": 4,
+        "slots": 8,
+        "arrivals": "constant",
+        "rate_per_s": 20_000.0,
+    },
+    "service_bursty": {
+        "requests": 800,
+        "vms": 6,
+        "slots": 8,
+        "arrivals": "bursty",
+        "rate_per_s": 30_000.0,
+    },
+    "service_diurnal": {
+        "requests": 800,
+        "vms": 6,
+        "slots": 8,
+        "arrivals": "diurnal",
+        "rate_per_s": 15_000.0,
+    },
+    "service_scale": {
+        "requests": 3000,
+        "vms": 16,
+        "slots": 16,
+        "arrivals": "constant",
+        "rate_per_s": 50_000.0,
+    },
+}
+
+
+def digest48(digest_hex: str) -> float:
+    """First 48 bits of a hex digest as an exactly-representable float."""
+    return float(int(digest_hex[:12], 16))
+
+
+class ReplayResult:
+    """Response log + digest + scalar metrics of one replay."""
+
+    def __init__(
+        self,
+        preset: str,
+        seed: int,
+        lines: List[str],
+        digest: str,
+        orchestrator: Orchestrator,
+        world_stats: Dict[str, Any],
+        ok: int,
+        errors: int,
+        completed: int,
+        latency_us: List[float],
+    ) -> None:
+        self.preset = preset
+        self.seed = seed
+        self.lines = lines
+        self.digest = digest
+        self.orchestrator = orchestrator
+        self.world_stats = world_stats
+        self.ok = ok
+        self.errors = errors
+        self.completed = completed
+        self.latency_us = latency_us
+
+    def metrics(self) -> Dict[str, float]:
+        """Float-only metric dict (the sweep-cacheable surface)."""
+        lat = sorted(self.latency_us)
+
+        def pct(p: float) -> float:
+            if not lat:
+                return 0.0
+            return lat[min(int(p / 100.0 * len(lat)), len(lat) - 1)]
+
+        return {
+            "requests": float(self.ok + self.errors),
+            "ok": float(self.ok),
+            "errors": float(self.errors),
+            "orders_completed": float(self.completed),
+            "p50_order_latency_us": round(pct(50.0), 6),
+            "p99_order_latency_us": round(pct(99.0), 6),
+            "resos_traded": float(self.world_stats["resos_traded"]),
+            "epochs_run": float(self.world_stats["epochs_run"]),
+            "digest48": digest48(self.digest),
+        }
+
+
+async def _replay(
+    trace: List[Dict[str, Any]],
+    orchestrator: Orchestrator,
+) -> Dict[str, Any]:
+    responses: Dict[int, Dict[str, Any]] = {}
+    ok = errors = completed = 0
+    latency_us: List[float] = []
+    await orchestrator.start()
+    try:
+        for rid, req in enumerate(trace, start=1):
+            try:
+                data = await orchestrator.handle(
+                    req["op"], req["params"], at_ns=req["at_ns"]
+                )
+                responses[rid] = {"op": req["op"], "ok": True, "data": data}
+                ok += 1
+                if req["op"] == "flush":
+                    for done in data["completed"]:
+                        completed += 1
+                        latency_us.append(done["latency_us"])
+            except ServiceError as exc:
+                responses[rid] = {
+                    "op": req["op"],
+                    "ok": False,
+                    "code": exc.code,
+                    "error": str(exc),
+                }
+                errors += 1
+    finally:
+        await orchestrator.stop()
+    return {
+        "responses": responses,
+        "ok": ok,
+        "errors": errors,
+        "completed": completed,
+        "latency_us": latency_us,
+    }
+
+
+def run_service_replay(
+    preset: str = "service_smoke",
+    seed: int = 7,
+    *,
+    overrides: Optional[Dict[str, Any]] = None,
+    telemetry=None,
+) -> ReplayResult:
+    """Replay one preset deterministically; returns the full result.
+
+    ``overrides`` patches the preset spec (e.g. ``{"requests": 50}``
+    for a fast test).  Safe to call from synchronous code — it runs a
+    private event loop.
+    """
+    spec = SERVICE_SPECS.get(preset)
+    if spec is None:
+        raise ConfigError(
+            f"unknown service preset {preset!r} "
+            f"(have {', '.join(sorted(SERVICE_SPECS))})"
+        )
+    spec = {**spec, **(overrides or {})}
+    config = ServiceConfig(
+        slots=int(spec["slots"]),
+        policy=str(spec.get("policy", "freemarket")),
+    )
+    trace = build_trace(
+        requests=int(spec["requests"]),
+        vms=int(spec["vms"]),
+        seed=seed,
+        arrivals=str(spec["arrivals"]),
+        rate_per_s=float(spec["rate_per_s"]),
+    )
+    backend = SimBackend(config, seed=seed)
+    orchestrator = Orchestrator(backend, telemetry=telemetry)
+    outcome = asyncio.run(_replay(trace, orchestrator))
+    responses = outcome["responses"]
+    return ReplayResult(
+        preset=preset,
+        seed=seed,
+        lines=response_log_lines(responses),
+        digest=response_digest(responses),
+        orchestrator=orchestrator,
+        world_stats=backend.world.stats(),
+        ok=outcome["ok"],
+        errors=outcome["errors"],
+        completed=outcome["completed"],
+        latency_us=outcome["latency_us"],
+    )

@@ -47,6 +47,12 @@ FAULTS = "faults"
 #: start — experiment orchestration happens in real time, not in any
 #: one simulation's clock.
 SWEEP = "sweep"
+#: Live-serving records (repro.service): per-request gateway latency
+#: accounting and orchestrator routing events.  Like ``sweep``, these
+#: are stamped with wall-clock nanoseconds since gateway start — the
+#: service handles real traffic even when its backend steps a
+#: simulation's virtual clock.
+SERVICE = "service"
 
 #: How often (in processed events) the kernel emits queue-depth
 #: counters when tracing is on.  Keeps the kernel layer visible in

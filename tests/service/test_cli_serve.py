@@ -1,0 +1,67 @@
+"""End-to-end CLI pair: ``repro serve`` + ``repro loadgen``.
+
+The server runs as a real subprocess (signal handlers only install in
+a main thread) on an ephemeral port; the loadgen runs in-process so
+its report object is directly assertable.  This is the same shape as
+the CI ``serve-smoke`` job, scaled down.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+@pytest.fixture()
+def serve_proc(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    out_path = tmp_path / "serve.out"
+    with open(out_path, "w") as out:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--mode", "sim",
+             "--port", "0"],
+            stdout=out,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+    port = None
+    for _ in range(100):
+        text = out_path.read_text()
+        if "listening" in text:
+            port = int(text.split()[1].rsplit(":", 1)[1])
+            break
+        if proc.poll() is not None:
+            pytest.fail(f"serve exited early with {proc.returncode}")
+        time.sleep(0.1)
+    assert port, "server never reported its port"
+    yield proc, port
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait()
+
+
+class TestServeLoadgen:
+    def test_loadgen_against_live_server_and_clean_sigterm(
+        self, serve_proc, capsys
+    ):
+        proc, port = serve_proc
+        rc = main(
+            ["loadgen", "--port", str(port), "--requests", "120",
+             "--seed", "7", "--json"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"requests": 120' in out
+        assert '"errors": 0' in out
+        assert '"digest"' in out
+        # Graceful shutdown: SIGTERM -> exit 0.
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=10) == 0

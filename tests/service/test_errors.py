@@ -1,0 +1,58 @@
+"""Service error subtree: stable codes, exit code 6, wire round-trip."""
+
+import pytest
+
+from repro.errors import (
+    SERVICE_ERROR_CODES,
+    AdmissionError,
+    FrameTooLarge,
+    Overloaded,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    service_error_from_code,
+)
+
+
+class TestHierarchy:
+    def test_all_service_errors_are_repro_errors(self):
+        for cls in SERVICE_ERROR_CODES.values():
+            assert issubclass(cls, ServiceError)
+            assert issubclass(cls, ReproError)
+            assert cls.exit_code == 6
+
+    def test_codes_are_unique_and_stable(self):
+        assert ServiceError.code == "service"
+        assert Overloaded.code == "service-overloaded"
+        assert AdmissionError.code == "service-admission"
+        assert FrameTooLarge.code == "service-frame"
+        codes = [cls.code for cls in SERVICE_ERROR_CODES.values()]
+        assert len(codes) == len(set(codes))
+
+    def test_frame_too_large_is_protocol_fatal(self):
+        assert issubclass(FrameTooLarge, ProtocolError)
+
+
+class TestWireRoundTrip:
+    @pytest.mark.parametrize("code", sorted(SERVICE_ERROR_CODES))
+    def test_code_maps_back_to_class(self, code):
+        exc = service_error_from_code(code, "boom")
+        assert type(exc) is SERVICE_ERROR_CODES[code]
+        assert str(exc) == "boom"
+
+    def test_unknown_code_falls_back_to_base(self):
+        exc = service_error_from_code("service-from-the-future", "x")
+        assert type(exc) is ServiceError
+
+
+class TestCliExitCode:
+    def test_service_error_maps_to_exit_6(self, capsys):
+        from repro.cli import main
+
+        # loadgen against a port nothing listens on -> ProtocolError.
+        rc = main(
+            ["loadgen", "--port", "1", "--requests", "10", "--seed", "7",
+             "--retries", "0"]
+        )
+        assert rc == 6
+        assert "service-protocol" in capsys.readouterr().err

@@ -1,0 +1,236 @@
+"""Gateway failure-path tests: the ISSUE's containment checklist.
+
+Every scenario here is hostile or unlucky client behaviour — malformed
+frames, oversized payloads, mid-request disconnects, a backend that
+blows up, a queue pushed past its bound — and in every one the gateway
+must answer with a structured error frame (when an answer is possible)
+and keep serving everyone else.
+"""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.errors import Overloaded, ServiceBackendError
+from repro.service import (
+    Orchestrator,
+    ServiceClient,
+    ServiceConfig,
+    ServiceGateway,
+    SimBackend,
+    protocol,
+)
+
+
+class GatedBackend(SimBackend):
+    """A sim backend whose requests can be held at a gate (test-only)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.gate = None
+
+    async def handle(self, op, params, at_ns=0):
+        if self.gate is not None:
+            await self.gate.wait()
+        return await super().handle(op, params, at_ns)
+
+
+class ExplodingBackend(SimBackend):
+    """A sim backend that raises an unexpected exception on 'price'."""
+
+    async def handle(self, op, params, at_ns=0):
+        if op == "price":
+            raise RuntimeError("sensor wedged")
+        return await super().handle(op, params, at_ns)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _gateway(backend=None, **kwargs):
+    backend = backend or SimBackend(ServiceConfig(), seed=7)
+    gateway = ServiceGateway(Orchestrator(backend), **kwargs)
+    await gateway.start()
+    return gateway
+
+
+async def _raw_conn(gateway):
+    """A raw handshaken connection (no client library)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", gateway.port)
+    writer.write(protocol.encode_frame(protocol.hello_frame("raw")))
+    await writer.drain()
+    welcome = await protocol.read_frame(reader)
+    assert welcome["type"] == "welcome"
+    return reader, writer
+
+
+class TestHandshake:
+    def test_wrong_protocol_gets_error_frame_and_close(self):
+        async def scenario():
+            gateway = await _gateway()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", gateway.port
+                )
+                bad = dict(protocol.hello_frame("x"), proto="bogus/9")
+                writer.write(protocol.encode_frame(bad))
+                await writer.drain()
+                err = await protocol.read_frame(reader)
+                assert err["type"] == "err"
+                assert err["code"] == "service-handshake"
+                assert await protocol.read_frame(reader) is None  # closed
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+    def test_mode_reported_in_welcome(self):
+        async def scenario():
+            gateway = await _gateway()
+            try:
+                client = await ServiceClient.connect(
+                    "127.0.0.1", gateway.port
+                )
+                assert client.mode == "sim"
+                await client.close()
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+
+class TestFailureContainment:
+    def test_malformed_frame_gets_error_and_gateway_survives(self):
+        async def scenario():
+            gateway = await _gateway()
+            try:
+                reader, writer = await _raw_conn(gateway)
+                junk = b"\xff\xfenot json at all"
+                writer.write(struct.pack(">I", len(junk)) + junk)
+                await writer.drain()
+                err = await protocol.read_frame(reader)
+                assert err["type"] == "err"
+                assert err["code"] == "service-protocol"
+                # That connection is dead...
+                assert await protocol.read_frame(reader) is None
+                # ...but the gateway is fine:
+                client = await ServiceClient.connect("127.0.0.1", gateway.port)
+                assert (await client.price())["local"] >= 0
+                await client.close()
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+    def test_oversized_payload_rejected_without_allocation(self):
+        async def scenario():
+            gateway = await _gateway(max_frame=4096)
+            try:
+                reader, writer = await _raw_conn(gateway)
+                # Announce a 100 MB frame; send nothing further.
+                writer.write(struct.pack(">I", 100 * 1024 * 1024))
+                await writer.drain()
+                err = await protocol.read_frame(reader)
+                assert err["code"] == "service-frame"
+                assert gateway.protocol_errors >= 1
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+    def test_backend_exception_becomes_structured_error_frame(self):
+        async def scenario():
+            gateway = await _gateway(
+                ExplodingBackend(ServiceConfig(), seed=7)
+            )
+            try:
+                client = await ServiceClient.connect("127.0.0.1", gateway.port)
+                with pytest.raises(ServiceBackendError, match="sensor wedged"):
+                    await client.price()
+                # Same connection still serves other ops: no crash.
+                stats = await client.stats()
+                assert stats["mode"] == "sim"
+                await client.close()
+            finally:
+                await gateway.stop()
+            assert gateway.requests_served >= 1
+
+        run(scenario())
+
+    def test_client_disconnect_mid_request_is_contained(self):
+        async def scenario():
+            backend = GatedBackend(ServiceConfig(), seed=7)
+            gateway = await _gateway(backend)
+            backend.gate = asyncio.Event()
+            try:
+                reader, writer = await _raw_conn(gateway)
+                writer.write(
+                    protocol.encode_frame(protocol.request_frame(1, "price"))
+                )
+                await writer.drain()
+                await asyncio.sleep(0.05)  # request is now held at the gate
+                writer.close()  # vanish mid-request
+                backend.gate.set()
+                await asyncio.sleep(0.05)
+                assert len(gateway._sessions) == 0  # session torn down
+                # Gateway still serves new clients.
+                backend.gate = None
+                client = await ServiceClient.connect("127.0.0.1", gateway.port)
+                assert (await client.stats())["mode"] == "sim"
+                await client.close()
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+    def test_shape_breach_with_id_keeps_connection(self):
+        async def scenario():
+            gateway = await _gateway()
+            try:
+                reader, writer = await _raw_conn(gateway)
+                bad = {"type": "req", "id": 9, "op": "", "params": {}}
+                writer.write(protocol.encode_frame(bad))
+                writer.write(
+                    protocol.encode_frame(protocol.request_frame(10, "stats"))
+                )
+                await writer.drain()
+                err = await protocol.read_frame(reader)
+                assert err["type"] == "err" and err["id"] == 9
+                res = await protocol.read_frame(reader)
+                assert res["type"] == "res" and res["id"] == 10
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+
+class TestBackpressure:
+    def test_queue_overflow_rejected_with_overloaded(self):
+        async def scenario():
+            backend = GatedBackend(ServiceConfig(), seed=7)
+            gateway = await _gateway(backend, max_queue=1)
+            backend.gate = asyncio.Event()
+            try:
+                client = await ServiceClient.connect("127.0.0.1", gateway.port)
+                futures = [client.send_nowait("price") for _ in range(8)]
+                await client._writer.drain()
+                await asyncio.sleep(0.1)  # rejections arrive while gated
+                backend.gate.set()
+                outcomes = await asyncio.gather(
+                    *futures, return_exceptions=True
+                )
+                rejected = [o for o in outcomes if isinstance(o, Overloaded)]
+                served = [o for o in outcomes if isinstance(o, dict)]
+                assert rejected, "bounded queue never rejected"
+                assert served, "gateway served nothing"
+                assert len(rejected) + len(served) == 8
+                assert gateway.requests_rejected == len(rejected)
+                # After the burst the connection still works.
+                assert (await client.stats())["mode"] == "sim"
+                await client.close()
+            finally:
+                await gateway.stop()
+
+        run(scenario())

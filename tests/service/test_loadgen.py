@@ -1,0 +1,88 @@
+"""Load-generator tests: arrival processes, trace synthesis, digests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.loadgen import (
+    arrival_offsets,
+    build_trace,
+    response_digest,
+    response_log_lines,
+)
+
+
+class TestArrivals:
+    @pytest.mark.parametrize("kind", ["constant", "bursty", "diurnal"])
+    def test_monotone_nonnegative(self, kind):
+        offsets = arrival_offsets(kind, 500, 10_000.0, seed=7)
+        assert len(offsets) == 500
+        assert offsets[0] >= 0
+        assert all(b >= a for a, b in zip(offsets, offsets[1:]))
+
+    @pytest.mark.parametrize("kind", ["constant", "bursty", "diurnal"])
+    def test_seeded(self, kind):
+        a = arrival_offsets(kind, 200, 5_000.0, seed=3)
+        b = arrival_offsets(kind, 200, 5_000.0, seed=3)
+        c = arrival_offsets(kind, 200, 5_000.0, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_mean_rate_roughly_honoured(self):
+        offsets = arrival_offsets("constant", 5000, 10_000.0, seed=7)
+        span_s = offsets[-1] / 1e9
+        assert 5000 / span_s == pytest.approx(10_000.0, rel=0.1)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError, match="arrival kind"):
+            arrival_offsets("lunar", 10, 1.0, seed=7)
+
+    def test_bad_rate(self):
+        with pytest.raises(ConfigError, match="rate"):
+            arrival_offsets("constant", 10, 0.0, seed=7)
+
+
+class TestTraceSynthesis:
+    def test_admissions_come_first_then_mix_then_flush(self):
+        trace = build_trace(requests=100, vms=3, seed=7)
+        assert [r["op"] for r in trace[:3]] == ["admit"] * 3
+        assert [r["params"]["vm"] for r in trace[:3]] == ["vm0", "vm1", "vm2"]
+        assert trace[-1]["op"] == "flush"
+        assert any(r["op"] == "order" for r in trace[3:-1])
+
+    def test_seeded_and_distinct(self):
+        a = build_trace(requests=80, seed=7)
+        b = build_trace(requests=80, seed=7)
+        c = build_trace(requests=80, seed=8)
+        assert a == b
+        assert a != c
+
+    def test_arrival_offsets_monotone_in_trace(self):
+        trace = build_trace(requests=60, seed=7)
+        ats = [r["at_ns"] for r in trace]
+        assert all(b >= a for a, b in zip(ats, ats[1:]))
+
+    def test_too_few_requests_rejected(self):
+        with pytest.raises(ConfigError, match="cannot cover"):
+            build_trace(requests=3, vms=4, seed=7)
+
+    def test_unknown_mix_op_rejected(self):
+        with pytest.raises(ConfigError, match="unknown ops"):
+            build_trace(requests=50, seed=7, mix={"teleport": 1.0})
+
+
+class TestDigest:
+    def test_sorted_by_request_id(self):
+        responses = {2: {"op": "b", "ok": True}, 1: {"op": "a", "ok": True}}
+        lines = response_log_lines(responses)
+        assert lines[0].startswith('{"id":1')
+        assert lines[1].startswith('{"id":2')
+
+    def test_digest_is_order_independent(self):
+        a = {1: {"op": "a", "ok": True}, 2: {"op": "b", "ok": True}}
+        b = dict(reversed(list(a.items())))
+        assert response_digest(a) == response_digest(b)
+
+    def test_digest_sensitive_to_content(self):
+        a = {1: {"op": "a", "ok": True}}
+        b = {1: {"op": "a", "ok": False}}
+        assert response_digest(a) != response_digest(b)

@@ -1,0 +1,113 @@
+"""Wire-layer tests: framing, canonical encoding, handshake checks."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.errors import FrameTooLarge, HandshakeError, ProtocolError
+from repro.service import protocol
+
+
+def _read(data: bytes, max_frame: int = protocol.DEFAULT_MAX_FRAME):
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await protocol.read_frame(reader, max_frame)
+
+    return asyncio.run(scenario())
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = protocol.request_frame(3, "price", {}, at_ns=17)
+        assert _read(protocol.encode_frame(frame)) == frame
+
+    def test_canonical_encoding_is_key_order_independent(self):
+        a = protocol.encode_frame({"b": 1, "a": 2})
+        b = protocol.encode_frame({"a": 2, "b": 1})
+        assert a == b
+
+    def test_clean_eof_returns_none(self):
+        assert _read(b"") is None
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid-header"):
+            _read(b"\x00\x00")
+
+    def test_truncated_payload_raises(self):
+        good = protocol.encode_frame({"type": "req"})
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            _read(good[:-2])
+
+    def test_oversized_header_rejected_before_payload_read(self):
+        header = struct.pack(">I", 10 * 1024 * 1024)
+        with pytest.raises(FrameTooLarge, match="announces"):
+            _read(header, max_frame=1024)
+
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(FrameTooLarge):
+            protocol.encode_frame({"x": "y" * 100}, max_frame=16)
+
+    def test_non_json_payload_raises(self):
+        payload = b"\xff\xfenot json"
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            _read(struct.pack(">I", len(payload)) + payload)
+
+    def test_non_object_payload_raises(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(ProtocolError, match="JSON object"):
+            _read(struct.pack(">I", len(payload)) + payload)
+
+    def test_nan_never_crosses_the_wire(self):
+        with pytest.raises(ValueError):
+            protocol.canonical_json({"x": float("nan")})
+
+
+class TestHandshake:
+    def test_hello_roundtrip(self):
+        assert protocol.check_hello(protocol.hello_frame("lg")) == "lg"
+
+    def test_wrong_protocol_rejected(self):
+        bad = dict(protocol.hello_frame("lg"), proto="resex-service/999")
+        with pytest.raises(HandshakeError, match="protocol mismatch"):
+            protocol.check_hello(bad)
+
+    def test_non_hello_rejected(self):
+        with pytest.raises(HandshakeError, match="expected a hello"):
+            protocol.check_hello(protocol.request_frame(1, "price"))
+
+    def test_welcome_roundtrip(self):
+        frame = protocol.welcome_frame(4, "sim")
+        assert protocol.check_welcome(frame)["session"] == 4
+
+    def test_err_frame_during_handshake_raises_with_code(self):
+        err = protocol.error_frame(None, "service-handshake", "nope")
+        with pytest.raises(HandshakeError, match="nope"):
+            protocol.check_welcome(err)
+
+
+class TestRequestValidation:
+    def test_valid(self):
+        frame = protocol.request_frame(1, "order", {"vm": "a", "nbytes": 10})
+        assert protocol.check_request(frame) is frame
+
+    @pytest.mark.parametrize(
+        "patch,match",
+        [
+            ({"type": "res"}, "expected a req"),
+            ({"id": "one"}, "id must be"),
+            ({"id": True}, "id must be"),
+            ({"op": ""}, "op must be"),
+            ({"op": 7}, "op must be"),
+            ({"params": [1]}, "params must be"),
+            ({"at_ns": -1}, "at_ns must be"),
+            ({"at_ns": "now"}, "at_ns must be"),
+        ],
+    )
+    def test_shape_breaches(self, patch, match):
+        frame = dict(protocol.request_frame(1, "price"), **patch)
+        with pytest.raises(ProtocolError, match=match):
+            protocol.check_request(frame)

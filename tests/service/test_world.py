@@ -1,0 +1,150 @@
+"""Served-world tests: admission, trading, order flow, clock stepping."""
+
+import pytest
+
+from repro.errors import AdmissionError, ConfigError
+from repro.service.world import (
+    MAX_ORDER_BYTES,
+    MIN_ORDER_BYTES,
+    ResExWorld,
+    ServiceConfig,
+)
+
+
+@pytest.fixture()
+def world():
+    return ResExWorld(ServiceConfig(slots=2), seed=7)
+
+
+class TestConfig:
+    def test_bad_slots(self):
+        with pytest.raises(ConfigError, match="slots"):
+            ServiceConfig(slots=0)
+
+    def test_bad_throttle_weight(self):
+        with pytest.raises(ConfigError, match="throttled_weight"):
+            ServiceConfig(throttled_weight=0.0)
+
+
+class TestAdmission:
+    def test_admit_binds_lowest_free_slot(self, world):
+        assert world.admit("a")["slot"] == 0
+        assert world.admit("b")["slot"] == 1
+
+    def test_admit_full_is_explicit(self, world):
+        world.admit("a")
+        world.admit("b")
+        with pytest.raises(AdmissionError, match="no capacity"):
+            world.admit("c")
+
+    def test_release_recycles_slot(self, world):
+        world.admit("a")
+        world.admit("b")
+        world.release("a")
+        assert world.admit("c")["slot"] == 0
+
+    def test_duplicate_admit_rejected(self, world):
+        world.admit("a")
+        with pytest.raises(AdmissionError, match="already admitted"):
+            world.admit("a")
+
+    def test_unknown_vm_rejected(self, world):
+        with pytest.raises(AdmissionError, match="not admitted"):
+            world.order("ghost", 4096)
+
+    def test_readmission_resets_balance(self, world):
+        world.admit("a")
+        world.ask("a", 50.0)
+        world.release("a")
+        fresh = world.admit("b")
+        account = world._account(fresh["slot"])
+        assert account.balance == pytest.approx(account.allocation)
+
+
+class TestTrading:
+    def test_ask_moves_balance_into_pool(self, world):
+        world.admit("a")
+        out = world.ask("a", 10.0)
+        assert out["filled"] == pytest.approx(10.0)
+        assert world.pool_resos == pytest.approx(10.0)
+
+    def test_ask_clamped_to_balance(self, world):
+        world.admit("a")
+        account = world._account(0)
+        out = world.ask("a", account.allocation * 10)
+        assert out["filled"] == pytest.approx(account.allocation)
+        assert account.balance == 0.0
+
+    def test_bid_bounded_by_pool_and_allocation(self, world):
+        world.admit("a")
+        world.admit("b")
+        world.ask("a", 25.0)
+        out = world.bid("b", 100.0)
+        # b is already at full allocation: conservation forbids topping up.
+        assert out["filled"] == 0.0
+        world.ask("b", 40.0)  # make 40 Resos of headroom
+        out = world.bid("b", 100.0)
+        # Pool holds 65 but the allocation envelope caps the fill at 40.
+        assert out["filled"] == pytest.approx(40.0)
+        assert world.pool_resos == pytest.approx(25.0)
+
+    def test_nonpositive_amounts_rejected(self, world):
+        world.admit("a")
+        with pytest.raises(AdmissionError):
+            world.ask("a", 0)
+        with pytest.raises(AdmissionError):
+            world.bid("a", -1)
+
+    def test_price_reflects_congestion(self, world):
+        world.admit("a")
+        base = world.price()
+        world.order("a", 1 << 20)
+        loaded = world.price()
+        assert loaded["congestion"] > base["congestion"]
+        assert loaded["in_flight"] == 1
+
+
+class TestOrders:
+    def test_order_charges_and_completes(self, world):
+        world.admit("a")
+        out = world.order("a", 64 * 1024)
+        assert out["cost_resos"] > 0
+        assert not out["throttled"]
+        done = world.drain()
+        assert len(done) == 1
+        assert done[0]["order_id"] == out["order_id"]
+        assert done[0]["latency_us"] > 0
+
+    def test_order_size_clamped(self, world):
+        world.admit("a")
+        assert world.order("a", 1)["nbytes"] == MIN_ORDER_BYTES
+        out = world.order("a", MAX_ORDER_BYTES * 10)
+        assert out["nbytes"] == MAX_ORDER_BYTES
+
+    def test_exhausted_account_is_throttled_not_refused(self, world):
+        world.admit("a")
+        world.ask("a", world._account(0).allocation)  # drain the budget
+        out = world.order("a", 1 << 20)
+        assert out["throttled"] is True
+        assert any(t[3] for t in world._pending.values())
+
+    def test_release_keeps_inflight_orders_draining(self, world):
+        world.admit("a")
+        world.order("a", 1 << 20)
+        world.release("a")
+        done = world.drain()
+        assert [d["vm"] for d in done] == ["a"]
+
+
+class TestClock:
+    def test_advance_is_monotone(self, world):
+        world.advance_to(5_000_000)
+        assert world.now_ns == 5_000_000
+        world.advance_to(1_000)  # late arrival: clamped, not rewound
+        assert world.now_ns == 5_000_000
+
+    def test_controller_epochs_advance_with_clock(self, world):
+        world.admit("a")
+        world.advance_to(2_100_000_000)  # past two 1 s epochs
+        assert world.controller.epochs_run >= 2
+        assert world.stats()["intervals_run"] > 1000

@@ -62,6 +62,17 @@ def test_chaos_report_is_byte_identical(capture_golden):
     )
 
 
+def test_service_replay_is_byte_identical(capture_golden):
+    golden = (GOLDEN_DIR / capture_golden.SERVICE_NAME).read_text()
+    produced = capture_golden.golden_service_bytes()
+    assert produced == golden, (
+        "the service_smoke replay response log drifted from the golden "
+        "fixture; if the behaviour change is intentional, regenerate "
+        "with `PYTHONPATH=src python tools/capture_golden.py` and say "
+        "so in the commit message"
+    )
+
+
 def test_golden_runs_are_repeatable(capture_golden):
     """Two in-process runs at the same seed produce the same bytes —
     the determinism claim underlying the fixtures themselves."""

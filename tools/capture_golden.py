@@ -16,6 +16,11 @@ Two fixtures are captured, both at fixed seeds:
   fig9 chaos run under the link-flap campaign (1.0 s, seed 11).  This
   pins the fault-injection path end to end: campaign scheduling,
   injector actuation, latency attribution and recovery metrics.
+* ``service_replay_smoke_seed7.json`` — the full response log and
+  digest of the ``service_smoke`` sim-mode service replay (500 seeded
+  requests, seed 7).  This pins the served surface: trace synthesis,
+  request validation, orchestrator serialization order and every
+  world response field (the ISSUE's determinism contract).
 
 Usage::
 
@@ -37,6 +42,7 @@ GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "tests" / "golden"
 
 TRACE_NAME = "trace_managed_s02_seed7.json"
 CHAOS_NAME = "chaos_fig9_linkflap_s1_seed11.json"
+SERVICE_NAME = "service_replay_smoke_seed7.json"
 
 #: Axes of the traced golden run.
 TRACE_SIM_S = 0.2
@@ -46,6 +52,10 @@ TRACE_SEED = 7
 CHAOS_SIM_S = 1.0
 CHAOS_SEED = 11
 CHAOS_CAMPAIGN = "link-flap"
+
+#: Axes of the service-replay golden run.
+SERVICE_PRESET = "service_smoke"
+SERVICE_SEED = 7
 
 
 def golden_trace_bytes() -> str:
@@ -81,10 +91,31 @@ def golden_chaos_bytes() -> str:
     return json.dumps(chaos.report.to_dict(), indent=2, sort_keys=True) + "\n"
 
 
+def golden_service_bytes() -> str:
+    """The service_smoke replay: digest + full response log.
+
+    This pins the entire served surface — trace synthesis, parameter
+    validation, the orchestrator's serialization order, every world
+    response field and the sim backend's virtual-clock stepping.  Any
+    of those drifting shows up as a digest (and log) diff.
+    """
+    from repro.service import run_service_replay
+
+    result = run_service_replay(SERVICE_PRESET, seed=SERVICE_SEED)
+    doc = {
+        "preset": SERVICE_PRESET,
+        "seed": SERVICE_SEED,
+        "digest": result.digest,
+        "responses": result.lines,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
 def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for name, produce in ((TRACE_NAME, golden_trace_bytes),
-                          (CHAOS_NAME, golden_chaos_bytes)):
+                          (CHAOS_NAME, golden_chaos_bytes),
+                          (SERVICE_NAME, golden_service_bytes)):
         path = GOLDEN_DIR / name
         text = produce()
         changed = not path.exists() or path.read_text() != text
