@@ -267,6 +267,52 @@ def cluster_scale(sim_s: float = 0.25) -> Dict[str, Any]:
     }
 
 
+def cluster_scale_sharded(sim_s: float = 0.1, shards: int = 4) -> Dict[str, Any]:
+    """Serial vs sharded A/B of the 256-host cluster (shard tentpole).
+
+    Runs ``cluster_scale`` serially and again partitioned across
+    ``shards`` forked workers along the rack plan
+    (:mod:`repro.sim.shard`), interleaved over the caller's rounds.
+    The honest statistics are in ``meta``: ``shard_speedup_wall``
+    (serial wall / sharded wall — bounded by the host's core count,
+    also recorded: a 1-CPU host cannot show a speedup and will honestly
+    report ~1x or below, since barriers and pipes are pure overhead
+    there) and ``identical`` (the serial and sharded metric dicts must
+    compare equal, bit for bit — the contract the differential suite
+    enforces; a bench run that ever saw ``identical: false`` is
+    reporting a kernel bug, not noise).
+    """
+    import os
+
+    from repro.experiments.cluster import run_cluster
+
+    wall0 = time.perf_counter()
+    serial = run_cluster("cluster_scale", seed=7, sim_s=sim_s).metrics()
+    serial_wall = time.perf_counter() - wall0
+
+    wall0 = time.perf_counter()
+    sharded_result = run_cluster(
+        "cluster_scale", seed=7, sim_s=sim_s, shards=shards, backend="fork"
+    )
+    sharded_wall = time.perf_counter() - wall0
+    sharded = sharded_result.metrics()
+    stats = sharded_result.shard_stats
+
+    return {
+        "sim_s": sim_s,
+        "shards": shards,
+        "cpus": os.cpu_count(),
+        "serial_wall_s": round(serial_wall, 4),
+        "sharded_wall_s": round(sharded_wall, 4),
+        "shard_speedup_wall": round(serial_wall / sharded_wall, 3),
+        "barriers": stats.barriers if stats is not None else 0,
+        "messages_exchanged": (
+            stats.messages_exchanged if stats is not None else 0
+        ),
+        "identical": serial == sharded,
+    }
+
+
 def service_throughput(requests: int = 2000) -> Dict[str, Any]:
     """The ResEx service gateway under seeded open-loop load.
 
@@ -341,6 +387,10 @@ WORKLOADS: Dict[str, Tuple[Callable[[], Dict[str, Any]], str]] = {
     "cluster_scale": (
         cluster_scale,
         "256-host leaf-spine cluster: 2048 VMs, 2000 flows, price federation",
+    ),
+    "cluster_scale_sharded": (
+        cluster_scale_sharded,
+        "cluster_scale serial vs 4-shard fork A/B (must be bit-identical)",
     ),
     "service_throughput": (
         service_throughput,

@@ -190,6 +190,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     from repro.analysis import render_table
     from repro.experiments.cluster import CLUSTER_SPECS, run_cluster
+    from repro.supervise.manifest import result_digest
 
     if args.list:
         for name, spec in CLUSTER_SPECS.items():
@@ -201,7 +202,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         return 0
 
     with _invariant_scope(args.invariants) as monitor:
-        result = run_cluster(args.preset, seed=args.seed, sim_s=args.sim_s)
+        result = run_cluster(
+            args.preset, seed=args.seed, sim_s=args.sim_s,
+            shards=args.shards, backend=args.shard_backend,
+        )
     tainted = monitor is not None and monitor.tainted
     if tainted:
         get_logger().warning(
@@ -214,16 +218,25 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         doc = {
             "preset": args.preset,
             "seed": args.seed,
+            "shards": args.shards,
             "tainted": tainted,
+            # The canonical digest of the metrics dict: the value the
+            # shard differential (serial == N-shard) is held to in CI.
+            "digest": result_digest(metrics),
             "metrics": metrics,
         }
+        if result.shard_stats is not None:
+            doc["shard_stats"] = result.shard_stats.to_dict()
         print(_json.dumps(doc, indent=2, sort_keys=True))
         return 0
     print(
         render_table(
             ["metric", "value"],
             [[k, v] for k, v in sorted(metrics.items())],
-            title=f"cluster {args.preset} (seed={args.seed})",
+            title=(
+                f"cluster {args.preset} (seed={args.seed}, "
+                f"shards={args.shards})"
+            ),
         )
     )
     return 0
@@ -908,6 +921,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the preset's simulated duration",
     )
     cluster.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the run across N shard workers along the "
+        "topology's domain plan (bit-identical to --shards 1; default 1)",
+    )
+    cluster.add_argument(
+        "--shard-backend",
+        choices=["auto", "inline", "fork"],
+        default="auto",
+        help="shard transport: forked workers or an in-process "
+        "round-robin (default auto)",
+    )
+    cluster.add_argument(
         "--invariants",
         choices=["off", "record", "strict"],
         default="off",
@@ -916,7 +941,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--json", action="store_true",
-        help="emit metrics as JSON (includes the 'tainted' flag)",
+        help="emit metrics as JSON (includes the 'tainted' flag and the "
+        "canonical metrics digest)",
     )
     cluster.set_defaults(func=_cmd_cluster)
 

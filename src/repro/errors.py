@@ -36,6 +36,19 @@ class StopSimulation(Exception):
         self.value = value
 
 
+class ShardSyncError(SimulationError):
+    """Conservative time-synchronization contract violation.
+
+    Raised when a cross-shard message is submitted with less than the
+    shard lookahead of latency, or would be delivered behind a barrier
+    that has already been crossed — either one means the partitioned
+    run could diverge from the serial reference, so the run aborts
+    instead of silently producing non-reproducible results.
+    """
+
+    code = "shard-sync"
+
+
 class ConfigError(ReproError):
     """Invalid configuration value."""
 

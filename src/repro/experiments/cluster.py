@@ -1,56 +1,91 @@
-"""Cluster-scale scenarios: hundreds of hosts on a routed fabric.
+"""Cluster-scale scenarios: hundreds of hosts on a partitionable fabric.
 
-The paper's platform is two hosts on a crossbar; ROADMAP item 1 grows
-it to a cluster.  A cluster scenario wires a :class:`~repro.hw.
-topology.Topology` (leaf-spine or fat-tree) under the standard
-:class:`~repro.experiments.platform.Testbed`, populates every host
-with guest VMs, and layers three kinds of activity on top:
+The paper's platform is two hosts on a crossbar; ROADMAP item 1 grew it
+to a cluster, and ROADMAP item 2 (this module's current shape) makes
+one cluster run *partitionable*: the same scenario executes serially or
+sharded across worker processes (``shards=``), bit-for-bit identically.
 
-* **Monitored application traffic** — the paper's BenchEx pairs on the
-  first racks' head nodes: a latency-reporting pair plus a
-  larger-buffer interfering pair, both crossing the spine, observed by
-  a full ResEx controller (IBMon, Reso accounts, IOShares pricing).
+The model is organized around the topology's **domains** (racks for
+leaf-spine, pods for fat-tree — see
+:class:`~repro.hw.topology.DomainPlan`):
+
+* Every domain owns its own :class:`~repro.hw.fabric.FluidFabric`
+  holding its hosts' ports and the switch links the plan assigns it.
+  The max-min solver therefore couples flows *within* a domain only —
+  in both serial and sharded runs, so partitioning never changes any
+  float trajectory.
+* Cross-domain traffic is **store-and-forward**: a flow transfers up
+  its source-side segment (host port + source-owned switch hops),
+  crosses the inter-domain channel as a message carrying the
+  propagation latency (``cross_rack_latency_ns`` — the conservative
+  lookahead of :mod:`repro.sim.shard`), then transfers down the
+  destination-side segment.  Serial runs use the exact same mailbox
+  channel at the exact same rack granularity; only the transport under
+  the mailbox differs between modes.
+* **Monitored application traffic** — the paper's BenchEx pairs live
+  entirely inside rack 0 (server on the head node, clients on the next
+  hosts), observed by a full ResEx controller (IBMon, Reso accounts,
+  IOShares pricing).  The whole virtio/HCA/ResEx stack stays
+  domain-local.
 * **Per-rack ResEx controllers** — rack 0 runs the detecting
   :class:`~repro.resex.IOShares` policy; every other rack runs
-  :class:`~repro.resex.RackFollower`, applying the cluster-wide price.
-  A :class:`~repro.resex.ClusterFederation` gossips prices between the
-  rack heads **over the simulated fabric** (§ federation docstring).
-* **Background flows** — a seeded population of VM-to-VM transfers
-  (default 70 % intra-rack) submitted directly to the fluid fabric
-  along topology routes.  They are the cluster's bulk traffic: they
-  contend on leaf uplinks and host ports and exercise the vectorized
-  max-min solver at realistic transfer counts.
+  :class:`~repro.resex.RackFollower`.  Prices federate by *message
+  passing*: per-rack :class:`~repro.resex.PriceAgent` endpoints gossip
+  with the rack-0 :class:`~repro.resex.PriceCoordinator`, each control
+  message paying a real egress transfer on its rack's fabric plus the
+  inter-domain propagation latency (gossip rides the same channel the
+  flows relay over).
+* **Background flows** — a seeded population of VM-to-VM transfers,
+  drawn from per-rack RNG streams (``cluster/flows/rack<R>``) so each
+  rack's schedule is a pure function of (seed, spec, rack) — never of
+  how racks are grouped into shards.
+* **Chaos** — optional per-rack link flaps (``chaos_flaps``) drawn
+  from ``cluster/chaos/rack<R>`` streams, degrading the rack head's
+  egress port; rack-local by construction, so fault campaigns shard
+  like everything else.
 
 Background flows deliberately bypass the per-VM virtio/HCA stack — at
 256 hosts the full split-driver path per flow would dominate runtime
-without changing what the fabric layer is being asked to prove
-(routing, contention, component-local reallocation).  The monitored
-pairs keep the full stack honest; the flows keep the fabric busy.
+without changing what the fabric layer is being asked to prove.  The
+monitored pairs keep the full stack honest; the flows keep the fabrics
+busy.
 
-Everything is deterministic: flow endpoints, sizes and start times
-come from named :class:`~repro.sim.rng.RngRegistry` streams, routing
-is static, and the max-min solver is bit-identical across solver
-paths, so a cluster run's metrics are reproducible cell-for-cell
-under the sweep engine.
+Determinism contract: every event touches exactly one domain's state;
+all cross-domain influence is a :class:`~repro.sim.shard.Message` with
+at least the lookahead of latency, delivered in ``(origin, seq)`` order
+at the reserved :data:`~repro.sim.events.DELIVERY` priority.  A
+domain's trajectory is therefore a pure function of (seed, spec, its
+ordered message stream), which is what makes ``shards=1`` and
+``shards=N`` byte-identical — the differential suite
+(``tests/sim/test_shard_differential.py``) holds this to the digest.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.benchex import BenchExConfig, BenchExPair
 from repro.errors import ConfigError
-from repro.experiments.platform import Node, Testbed
+from repro.experiments.platform import Node
 from repro.experiments.scenarios import REPORTING_SLA
-from repro.hw.fabric import FluidFabric
-from repro.hw.host import path_between
-from repro.hw.topology import FatTree, LeafSpine, Topology
-from repro.resex import ClusterFederation, IOShares, RackFollower, ResExController
-from repro.units import KiB, MS, MiB, SEC
+from repro.hw.fabric import FluidFabric, NetLink
+from repro.hw.topology import DomainPlan, FatTreePlan, LeafSpinePlan
+from repro.ib.params import DEFAULT_FABRIC_PARAMS, FabricParams
+from repro.resex import (
+    IOShares,
+    PriceAgent,
+    PriceCoordinator,
+    RackFollower,
+    ResExController,
+)
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+from repro.sim.shard import Mailbox, Message, ShardStats, run_sharded
+from repro.units import KiB, MS, MiB, SEC, US
 
 #: Topology kinds a :class:`ClusterSpec` understands.
 TOPOLOGY_KINDS = ("leaf-spine", "fat-tree")
@@ -84,6 +119,13 @@ class ClusterSpec:
     sync_interval_ns: int = 2 * MS
     #: Deploy the monitored BenchEx pairs + ResEx controllers.
     with_resex: bool = True
+    #: Inter-domain propagation latency of the store-and-forward relay
+    #: (spine/core crossing).  Doubles as the conservative lookahead of
+    #: a sharded run: no cross-domain influence can arrive sooner.
+    cross_rack_latency_ns: int = 200 * US
+    #: Deterministic link flaps per rack (rack-head egress degraded to
+    #: 25% capacity), drawn from per-rack chaos streams.  0 = calm.
+    chaos_flaps: int = 0
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGY_KINDS:
@@ -102,6 +144,15 @@ class ClusterSpec:
             raise ConfigError("sim_s must be > 0")
         if self.topology == "leaf-spine" and self.racks < 2:
             raise ConfigError("a cluster needs at least two racks")
+        if self.cross_rack_latency_ns < 1:
+            raise ConfigError("cross_rack_latency_ns must be >= 1")
+        if self.chaos_flaps < 0:
+            raise ConfigError("chaos_flaps must be >= 0")
+        if self.with_resex and self.rack_hosts < 2:
+            raise ConfigError(
+                "with_resex needs >= 2 hosts per rack (the monitored "
+                "pairs live inside rack 0)"
+            )
 
     @property
     def n_racks(self) -> int:
@@ -117,19 +168,22 @@ class ClusterSpec:
         return self.racks * self.hosts_per_rack
 
     @property
+    def rack_hosts(self) -> int:
+        """Hosts per rack (uniform for both topologies)."""
+        return self.n_hosts // self.n_racks
+
+    @property
     def n_vms(self) -> int:
         return self.n_hosts * self.vms_per_host
 
-    def topology_factory(self) -> Callable[[FluidFabric], Topology]:
-        """The :class:`~repro.experiments.platform.Testbed` hook."""
-        from repro.ib.params import DEFAULT_FABRIC_PARAMS
-
+    def domain_plan(self) -> DomainPlan:
+        """The link-disjoint partition this spec's topology admits."""
         bps = DEFAULT_FABRIC_PARAMS.link_bytes_per_sec
         if self.topology == "fat-tree":
-            return lambda fabric: FatTree(fabric, bps, k=self.fat_tree_k)
-        return lambda fabric: LeafSpine(
-            fabric, bps, racks=self.racks,
-            hosts_per_rack=self.hosts_per_rack, spines=self.spines,
+            return FatTreePlan(k=self.fat_tree_k, link_bytes_per_sec=bps)
+        return LeafSpinePlan(
+            racks=self.racks, hosts_per_rack=self.hosts_per_rack,
+            spines=self.spines, link_bytes_per_sec=bps,
         )
 
 
@@ -178,6 +232,10 @@ class FlowRecord:
     cross_rack: bool
     start_ns: int
     done_ns: Optional[int] = None
+    #: Globally unique id (``r<rack>.f<index>``) joining the record,
+    #: created in the source rack, with its completion, recorded
+    #: wherever the destination rack runs.
+    fid: str = ""
 
     @property
     def latency_us(self) -> Optional[float]:
@@ -194,12 +252,17 @@ class ClusterResult:
     seed: int
     sim_time_ns: int
     flows: List[FlowRecord]
-    #: Copied from :attr:`FluidFabric.solver_stats` at run end.
+    #: Merged over every domain fabric (counts summed, max_component
+    #: maxed) — in shard order, which equals domain order.
     solver_stats: Dict[str, int]
     #: Reporting-VM latencies (us); empty without ResEx pairs.
     reporting_us: np.ndarray
     federation_syncs: int = 0
     federation_price: float = 1.0
+    #: Execution statistics of the sharded runtime; ``None`` for the
+    #: plain serial path.  Deliberately excluded from :meth:`metrics`
+    #: so digests are shard-count-independent.
+    shard_stats: Optional[ShardStats] = None
 
     def completed(self) -> List[FlowRecord]:
         return [f for f in self.flows if f.done_ns is not None]
@@ -227,8 +290,8 @@ class ClusterResult:
         out["solver_global_solves"] = float(stats["global_solves"])
         out["solver_component_solves"] = float(stats["component_solves"])
         out["solver_max_component"] = float(stats["max_component"])
-        #: The tentpole's locality evidence: fraction of reallocation
-        #: solves that never left their connected component.
+        #: Locality evidence: fraction of reallocation solves that
+        #: never left their connected component.
         out["solver_component_frac"] = (
             stats["component_solves"] / solves if solves else math.nan
         )
@@ -238,219 +301,641 @@ class ClusterResult:
         return out
 
 
+class _WorldBed:
+    """The duck-typed testbed surface rack-local components consume.
+
+    :class:`~repro.benchex.BenchExPair` and friends only touch ``env``
+    and ``rng`` (their nodes carry everything else), so a world hands
+    them this shim instead of a full two-host
+    :class:`~repro.experiments.platform.Testbed`.
+    """
+
+    __test__ = False
+
+    def __init__(
+        self, env: Environment, rng: RngRegistry, params: FabricParams
+    ) -> None:
+        self.env = env
+        self.rng = rng
+        self.params = params
+
+
+@dataclass
+class _DomainState:
+    """One domain's isolated slice of the world."""
+
+    domain: int
+    fabric: FluidFabric
+    #: Switch links this domain owns, by plan name.
+    links: Dict[str, NetLink] = field(default_factory=dict)
+
+
+class WorldFederation:
+    """Serial-facing view of the message-passing price federation.
+
+    Presents the surface the old fabric-coupled ``ClusterFederation``
+    exposed to callers (``racks``, ``syncs``, ``cluster_price``) on top
+    of the per-rack :class:`~repro.resex.PriceCoordinator` /
+    :class:`~repro.resex.PriceAgent` endpoints a world actually runs.
+    """
+
+    def __init__(
+        self,
+        coordinator: Optional[PriceCoordinator],
+        agents: Dict[int, PriceAgent],
+        controllers: Sequence[Tuple[int, ResExController]],
+    ) -> None:
+        self.coordinator = coordinator
+        self.agents = dict(agents)
+        self._controllers = tuple(controllers)
+
+    @property
+    def racks(self) -> Tuple[Tuple[int, ResExController], ...]:
+        return self._controllers
+
+    @property
+    def syncs(self) -> int:
+        return self.coordinator.syncs if self.coordinator is not None else 0
+
+    @property
+    def cluster_price(self) -> float:
+        if self.coordinator is None:
+            return 1.0
+        return self.coordinator.cluster_price
+
+    def start(self) -> None:
+        if self.coordinator is not None:
+            self.coordinator.start()
+        for agent in self.agents.values():
+            agent.start()
+
+    def __repr__(self) -> str:
+        return (
+            f"<WorldFederation racks={len(self._controllers)} "
+            f"syncs={self.syncs} price={self.cluster_price:.2f}>"
+        )
+
+
+class ClusterWorld:
+    """One environment's worth of a cluster: some (or all) domains.
+
+    A serial run builds one world owning every domain; a sharded run
+    builds one world per shard, each owning that shard's domains.  The
+    construction path is identical — per-domain fabrics, rack-local
+    components, one :class:`~repro.sim.shard.Mailbox` for everything
+    that crosses a domain boundary — which is the whole bit-identity
+    argument: grouping domains into worlds changes no event order any
+    domain can observe.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        seed: int,
+        domains: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.plan = spec.domain_plan()
+        if domains is None:
+            domains = range(self.plan.n_domains)
+        self.domains: Tuple[int, ...] = tuple(sorted(domains))
+        self.env = Environment()
+        self.rng = RngRegistry(seed)
+        self.params = DEFAULT_FABRIC_PARAMS
+        self.bed = _WorldBed(self.env, self.rng, self.params)
+        self.mailbox = Mailbox(self.env, spec.cross_rack_latency_ns)
+
+        self._domains: Dict[int, _DomainState] = {}
+        #: Global host index -> Node, local hosts only.
+        self._host_nodes: Dict[int, Node] = {}
+        #: Local racks (ascending) -> their nodes in host order.
+        self.nodes_by_rack: Dict[int, List[Node]] = {}
+
+        self.records: List[FlowRecord] = []
+        self.done: Dict[str, int] = {}
+        self.pairs: List[BenchExPair] = []
+        self.reporter: Optional[BenchExPair] = None
+        self.controllers: List[Tuple[int, ResExController]] = []
+        self.coordinator: Optional[PriceCoordinator] = None
+        self.agents: Dict[int, PriceAgent] = {}
+        self._launched = False
+
+        for d in self.domains:
+            self._build_domain(d)
+        if spec.with_resex:
+            self._build_resex()
+
+    # -- construction -------------------------------------------------------
+    def _build_domain(self, d: int) -> None:
+        spec, plan = self.spec, self.plan
+        st = _DomainState(domain=d, fabric=FluidFabric(self.env))
+        for name, bps in plan.domain_links(d):
+            st.links[name] = st.fabric.add_link(name, bps)
+        self._domains[d] = st
+        rack_hosts = spec.rack_hosts
+        for hi in plan.hosts_of(d):
+            r, h = divmod(hi, rack_hosts)
+            ncpus = spec.vms_per_host + (4 if h == 0 else 1)
+            node = Node(
+                self.env, st.fabric, f"rack{r}-host{h}", ncpus, 1.86e9,
+                self.params, topology=None,
+            )
+            for v in range(spec.vms_per_host):
+                node.create_guest(f"rack{r}-host{h}.vm{v}")
+            self._host_nodes[hi] = node
+            self.nodes_by_rack.setdefault(r, []).append(node)
+        self.mailbox.register(d, self._on_message)
+
+    def _build_resex(self) -> None:
+        spec = self.spec
+        rack0 = self.nodes_by_rack.get(0)
+        if rack0 is not None:
+            # The paper's monitored workload, entirely inside rack 0:
+            # the reporting pair serves from the head to host 1, the
+            # interferer from the head to the next host — both servers
+            # share the head's egress port (the §VII contention point).
+            reporter = BenchExPair(
+                self.bed, rack0[0], rack0[1],
+                BenchExConfig(name="rep", warmup_requests=50),
+                with_agent=True,
+            )
+            interferer = BenchExPair(
+                self.bed, rack0[0], rack0[min(2, len(rack0) - 1)],
+                BenchExConfig(name="intf", buffer_bytes=2 * MiB),
+            )
+            self.pairs = [reporter, interferer]
+            self.reporter = reporter
+
+        for r in sorted(self.nodes_by_rack):
+            head = self.nodes_by_rack[r][0]
+            policy = IOShares() if r == 0 else RackFollower()
+            ctl = ResExController(head, policy)
+            if r == 0:
+                ctl.monitor(
+                    self.reporter.server_dom, agent=self.reporter.agent,
+                    sla=REPORTING_SLA,
+                )
+                ctl.monitor(self.pairs[1].server_dom)
+            else:
+                # A follower prices whatever its rack hosts; monitor
+                # the head's first guest so the controller has a
+                # population.
+                ctl.monitor(head.hypervisor.guest_domains()[0])
+            ctl.start()
+            self.controllers.append((r, ctl))
+
+        n_racks = spec.n_racks
+        for r, ctl in self.controllers:
+            if r == 0:
+                self.coordinator = PriceCoordinator(
+                    self.env, ctl, n_racks, spec.sync_interval_ns,
+                    send=self._fed_send,
+                )
+            else:
+                self.agents[r] = PriceAgent(
+                    self.env, r, ctl, spec.sync_interval_ns,
+                    send=self._fed_send,
+                )
+
+    # -- index helpers ------------------------------------------------------
+    def _head_index(self, rack: int) -> int:
+        return rack * self.spec.rack_hosts
+
+    def _host_index(self, rack: int, h: int) -> int:
+        return rack * self.spec.rack_hosts + h
+
+    # -- the cross-domain channel -------------------------------------------
+    def _relay(
+        self, origin: int, dest: int, kind: str, payload: Tuple[Any, ...]
+    ) -> None:
+        """Hand a message to another domain (or to this one's future).
+
+        Cross-domain goes through the mailbox; an intra-domain relay
+        (fat-tree racks sharing a pod) pays the same latency through a
+        plain timer — same environment in every mode, so no ordering
+        contract is needed beyond the kernel's.
+        """
+        if dest != origin:
+            self.mailbox.send(
+                origin, dest, self.spec.cross_rack_latency_ns, kind, payload
+            )
+            return
+        timer = self.env.timeout(self.spec.cross_rack_latency_ns)
+        timer.callbacks.append(
+            lambda _ev: self._dispatch(kind, payload)
+        )
+
+    def _on_message(self, msg: Message) -> None:
+        self._dispatch(msg.kind, msg.payload)
+
+    def _dispatch(self, kind: str, payload: Tuple[Any, ...]) -> None:
+        if kind == "flow":
+            self._land_flow(*payload)
+        elif kind == "fed":
+            self._fed_deliver(*payload)
+        else:  # pragma: no cover - defensive
+            raise ConfigError(f"unknown cluster message kind {kind!r}")
+
+    # -- background flows ---------------------------------------------------
+    def launch(self, until_ns: int) -> None:
+        """Schedule flows, chaos, pair deployment and the federation.
+
+        Everything scheduled here happens at construction-determined
+        instants drawn from rack-scoped streams, so the schedule is a
+        pure function of (seed, spec, rack set).
+        """
+        if self._launched:
+            raise ConfigError("cluster world already launched")
+        self._launched = True
+        spec = self.spec
+
+        if self.pairs:
+            def deploy_all(env):
+                for pair in self.pairs:
+                    yield from pair.deploy()
+                for pair in self.pairs:
+                    pair.start()
+
+            self.env.process(deploy_all(self.env), name="cluster-deploy")
+        if self.coordinator is not None:
+            self.coordinator.start()
+        for agent in self.agents.values():
+            agent.start()
+
+        self._launch_flows(until_ns)
+        if spec.chaos_flaps > 0:
+            self._launch_chaos(until_ns)
+
+    def _launch_flows(self, until_ns: int) -> None:
+        """Per-rack seeded flow schedules (satellite: shard-count-
+        independent RNG).
+
+        Each local rack draws its own flows from its own stream; the
+        global flow population is the rack-ordered union, so any
+        grouping of racks into worlds produces the same schedule.
+        """
+        spec, plan = self.spec, self.plan
+        n_racks, rack_hosts = spec.n_racks, spec.rack_hosts
+        base, rem = divmod(spec.n_flows, n_racks)
+        # Flows start inside the first 70% of the run so the tail has
+        # room to drain (completions are what the percentiles need).
+        horizon = int(until_ns * 0.7)
+
+        for r in sorted(self.nodes_by_rack):
+            n_r = base + (1 if r < rem else 0)
+            if n_r == 0:
+                continue
+            rng = self.rng.stream(f"cluster/flows/rack{r}")
+            for i in range(n_r):
+                src_h = int(rng.integers(rack_hosts))
+                intra = (
+                    rack_hosts > 1
+                    and float(rng.random()) < spec.intra_rack_frac
+                )
+                if intra:
+                    dst_r = r
+                    dst_h = int(rng.integers(rack_hosts - 1))
+                    if dst_h >= src_h:
+                        dst_h += 1  # never loopback
+                else:
+                    dst_r = int(rng.integers(n_racks - 1))
+                    if dst_r >= r:
+                        dst_r += 1
+                    dst_h = int(rng.integers(rack_hosts))
+                nbytes = int(
+                    math.exp(
+                        float(
+                            rng.uniform(
+                                math.log(spec.flow_bytes_min),
+                                math.log(spec.flow_bytes_max),
+                            )
+                        )
+                    )
+                )
+                start_ns = int(rng.integers(horizon)) if horizon > 0 else 0
+                sv = int(rng.integers(spec.vms_per_host))
+                dv = int(rng.integers(spec.vms_per_host))
+                record = FlowRecord(
+                    label=(
+                        f"rack{r}-host{src_h}.vm{sv}"
+                        f"->rack{dst_r}-host{dst_h}.vm{dv}"
+                    ),
+                    nbytes=nbytes,
+                    cross_rack=dst_r != r,
+                    start_ns=start_ns,
+                    fid=f"r{r}.f{i}",
+                )
+                self.records.append(record)
+                si = self._host_index(r, src_h)
+                di = self._host_index(dst_r, dst_h)
+                self.env.process(
+                    self._flow(record, si, di), name=f"flow.{record.fid}"
+                )
+
+    def _flow(self, record: FlowRecord, si: int, di: int):
+        plan, env = self.plan, self.env
+        if record.start_ns > 0:
+            yield env.timeout(record.start_ns)
+        d1, d2 = plan.domain_of(si), plan.domain_of(di)
+        st = self._domains[d1]
+        src = self._host_nodes[si].host
+        if d1 == d2:
+            dst = self._host_nodes[di].host
+            hops = tuple(st.links[n] for n in plan.intra_hops(si, di))
+            transfer = st.fabric.submit(
+                [src.tx_link, *hops, dst.rx_link], record.nbytes, record.label
+            )
+            yield transfer.done
+            self.done[record.fid] = env.now
+        else:
+            # Store-and-forward: source-side segment, then the relay
+            # message (paying the inter-domain propagation latency),
+            # then the destination-side segment over there.
+            src_side, _ = plan.cross_hops(si, di)
+            hops = tuple(st.links[n] for n in src_side)
+            transfer = st.fabric.submit(
+                [src.tx_link, *hops], record.nbytes, record.label
+            )
+            yield transfer.done
+            self._relay(
+                d1, d2, "flow", (record.fid, si, di, record.nbytes,
+                                 record.label)
+            )
+
+    def _land_flow(
+        self, fid: str, si: int, di: int, nbytes: int, label: str
+    ) -> None:
+        """Destination-side segment of a relayed cross-domain flow."""
+        plan = self.plan
+        d2 = plan.domain_of(di)
+        st = self._domains[d2]
+        _, dst_side = plan.cross_hops(si, di)
+        hops = tuple(st.links[n] for n in dst_side)
+        dst = self._host_nodes[di].host
+        transfer = st.fabric.submit(
+            [*hops, dst.rx_link], nbytes, label
+        )
+        transfer.done.callbacks.append(
+            lambda _ev, fid=fid: self.done.__setitem__(fid, self.env.now)
+        )
+
+    # -- federation transport ----------------------------------------------
+    def _fed_send(
+        self, src_rack: int, dst_rack: int, kind: str, round_no: int,
+        price: float,
+    ) -> None:
+        """One price-gossip control message from ``src_rack``.
+
+        The message pays a real egress transfer on the source rack's
+        fabric (head port + source-side switch hops) and then rides the
+        cross-domain channel — contending with the very traffic its
+        price governs.
+        """
+        plan = self.plan
+        si = self._head_index(src_rack)
+        di = self._head_index(dst_rack)
+        d1, d2 = plan.domain_of(si), plan.domain_of(di)
+        st = self._domains[d1]
+        head = self._host_nodes[si].host
+        label = f"fed.{kind}.r{src_rack}->r{dst_rack}.{round_no}"
+        payload = (kind, dst_rack, round_no, src_rack, price)
+        if d1 == d2:
+            # Same pod: the full intra-domain route, then the relay
+            # latency on a timer (one environment in every mode).
+            dst_head = self._host_nodes[di].host
+            hops = tuple(st.links[n] for n in plan.intra_hops(si, di))
+            transfer = st.fabric.submit(
+                [head.tx_link, *hops, dst_head.rx_link],
+                PriceCoordinator.PAYLOAD_BYTES, label,
+            )
+        else:
+            src_side, _ = plan.cross_hops(si, di)
+            hops = tuple(st.links[n] for n in src_side)
+            transfer = st.fabric.submit(
+                [head.tx_link, *hops], PriceCoordinator.PAYLOAD_BYTES, label,
+            )
+        transfer.done.callbacks.append(
+            lambda _ev: self._relay(d1, d2, "fed", payload)
+        )
+
+    def _fed_deliver(
+        self, kind: str, dst_rack: int, round_no: int, src_rack: int,
+        price: float,
+    ) -> None:
+        if kind == "gather":
+            if self.coordinator is None:  # pragma: no cover - defensive
+                raise ConfigError("gather message reached a world with no "
+                                  "coordinator")
+            self.coordinator.on_gather(round_no, src_rack, price)
+        elif kind == "cast":
+            agent = self.agents.get(dst_rack)
+            if agent is None:  # pragma: no cover - defensive
+                raise ConfigError(
+                    f"cast for rack {dst_rack} reached the wrong world"
+                )
+            agent.on_cast(round_no, price)
+        else:  # pragma: no cover - defensive
+            raise ConfigError(f"unknown federation verb {kind!r}")
+
+    # -- chaos ----------------------------------------------------------------
+    def _launch_chaos(self, until_ns: int) -> None:
+        """Per-rack seeded link flaps (rack-head egress to 25%)."""
+        window = max(1, int(until_ns * 0.8))
+        duration = max(1, int(until_ns * 0.1))
+        for r in sorted(self.nodes_by_rack):
+            rng = self.rng.stream(f"cluster/chaos/rack{r}")
+            st = self._domains[self.plan.domain_of(self._head_index(r))]
+            link_name = f"rack{r}-host0.tx"
+            for j in range(self.spec.chaos_flaps):
+                at_ns = int(rng.integers(window))
+                self.env.process(
+                    self._flap(st.fabric, link_name, at_ns, duration),
+                    name=f"chaos.r{r}.{j}",
+                )
+
+    def _flap(self, fabric: FluidFabric, link: str, at_ns: int, dur_ns: int):
+        if at_ns > 0:
+            yield self.env.timeout(at_ns)
+        fabric.set_link_degradation(link, 0.25)
+        yield self.env.timeout(dur_ns)
+        fabric.set_link_degradation(link, 1.0)
+
+    # -- results ------------------------------------------------------------
+    def finalize(self) -> Dict[str, Any]:
+        """This world's picklable partial result (crosses a pipe in a
+        forked run)."""
+        solver = {
+            "global_solves": 0, "global_transfers": 0,
+            "component_solves": 0, "component_transfers": 0,
+            "max_component": 0,
+        }
+        for d in self.domains:
+            stats = self._domains[d].fabric.solver_stats
+            for key in solver:
+                if key == "max_component":
+                    solver[key] = max(solver[key], stats[key])
+                else:
+                    solver[key] += stats[key]
+        reporting: List[float] = []
+        if self.reporter is not None and self.reporter.server is not None:
+            reporting = [float(v) for v in self.reporter.server.latencies_us()]
+        return {
+            "records": self.records,
+            "done": self.done,
+            "solver_stats": solver,
+            "reporting": reporting,
+            "federation_syncs": (
+                self.coordinator.syncs if self.coordinator is not None else 0
+            ),
+            "federation_price": (
+                self.coordinator.cluster_price
+                if self.coordinator is not None else 1.0
+            ),
+        }
+
+
+def _merge_parts(
+    parts: List[Dict[str, Any]], spec: ClusterSpec, seed: int, until_ns: int
+) -> ClusterResult:
+    """Fold per-world partials (shard order == domain order) into one
+    :class:`ClusterResult`; pure data, identical in every mode."""
+    records: List[FlowRecord] = []
+    done: Dict[str, int] = {}
+    solver = {
+        "global_solves": 0, "global_transfers": 0,
+        "component_solves": 0, "component_transfers": 0,
+        "max_component": 0,
+    }
+    reporting: List[float] = []
+    syncs, price = 0, 1.0
+    for part in parts:
+        records.extend(part["records"])
+        done.update(part["done"])
+        for key in solver:
+            if key == "max_component":
+                solver[key] = max(solver[key], part["solver_stats"][key])
+            else:
+                solver[key] += part["solver_stats"][key]
+        reporting.extend(part["reporting"])
+        syncs += part["federation_syncs"]
+        if part["federation_syncs"] > 0 or part["federation_price"] != 1.0:
+            price = part["federation_price"]
+    for rec in records:
+        rec.done_ns = done.get(rec.fid, rec.done_ns)
+    return ClusterResult(
+        spec=spec,
+        seed=seed,
+        sim_time_ns=until_ns,
+        flows=records,
+        solver_stats=solver,
+        reporting_us=np.asarray(reporting, dtype=float),
+        federation_syncs=syncs,
+        federation_price=price,
+    )
+
+
 @dataclass
 class ClusterSetup:
-    """A fully wired, not-yet-run cluster scenario."""
+    """A fully wired, not-yet-run (serial) cluster scenario."""
 
     spec: ClusterSpec
     seed: int
-    bed: Testbed
-    #: ``nodes[r][h]`` is host ``h`` of rack ``r``; ``nodes[r][0]`` is
-    #: the rack head (controller + federation endpoint).
-    nodes: List[List[Node]]
-    controllers: List[ResExController] = field(default_factory=list)
-    federation: Optional[ClusterFederation] = None
-    pairs: List[BenchExPair] = field(default_factory=list)
-    reporter: Optional[BenchExPair] = None
-    flows: List[FlowRecord] = field(default_factory=list)
+    world: ClusterWorld
+
+    @property
+    def nodes(self) -> List[List[Node]]:
+        """``nodes[r][h]``: host ``h`` of rack ``r`` (serial world)."""
+        return [
+            self.world.nodes_by_rack[r]
+            for r in sorted(self.world.nodes_by_rack)
+        ]
 
     @property
     def rack_heads(self) -> List[Node]:
         return [rack[0] for rack in self.nodes]
 
+    @property
+    def controllers(self) -> List[ResExController]:
+        return [ctl for _r, ctl in self.world.controllers]
+
+    @property
+    def federation(self) -> Optional[WorldFederation]:
+        if not self.world.controllers:
+            return None
+        return WorldFederation(
+            self.world.coordinator, self.world.agents, self.world.controllers
+        )
+
+    @property
+    def pairs(self) -> List[BenchExPair]:
+        return self.world.pairs
+
+    @property
+    def reporter(self) -> Optional[BenchExPair]:
+        return self.world.reporter
+
+    @property
+    def flows(self) -> List[FlowRecord]:
+        return self.world.records
+
     def execute(self, sim_s: Optional[float] = None) -> ClusterResult:
         """Deploy pairs, start flows and the federation, run, collect."""
-        spec, bed = self.spec, self.bed
-        until_ns = int((sim_s if sim_s is not None else spec.sim_s) * SEC)
-
-        def deploy_all(env):
-            for pair in self.pairs:
-                yield from pair.deploy()
-            for pair in self.pairs:
-                pair.start()
-
-        if self.pairs:
-            bed.env.process(deploy_all(bed.env), name="cluster-deploy")
-        if self.federation is not None:
-            self.federation.start()
-        self._launch_flows(until_ns)
-        bed.env.run(until=until_ns)
-
-        reporting = (
-            self.reporter.server.latencies_us()
-            if self.reporter is not None and self.reporter.server is not None
-            else np.array([])
+        until_ns = int(
+            (sim_s if sim_s is not None else self.spec.sim_s) * SEC
         )
-        return ClusterResult(
-            spec=spec,
-            seed=self.seed,
-            sim_time_ns=bed.env.now,
-            flows=self.flows,
-            solver_stats=dict(bed.fabric.solver_stats),
-            reporting_us=reporting,
-            federation_syncs=(
-                self.federation.syncs if self.federation is not None else 0
-            ),
-            federation_price=(
-                self.federation.cluster_price
-                if self.federation is not None else 1.0
-            ),
+        self.world.launch(until_ns)
+        self.world.env.run(until=until_ns)
+        return _merge_parts(
+            [self.world.finalize()], self.spec, self.seed, until_ns
         )
 
-    # -- background flows ---------------------------------------------------
-    def _launch_flows(self, until_ns: int) -> None:
-        """Schedule the seeded background flow population.
 
-        Endpoints, sizes and start times all come from one named RNG
-        stream, so the flow schedule is a pure function of (seed,
-        spec) — independent of deployment interleaving.
-        """
-        spec, bed = self.spec, self.bed
-        if spec.n_flows == 0:
-            return
-        rng = bed.rng.stream("cluster/flows")
-        flat = [node for rack in self.nodes for node in rack]
-        racks = self.nodes
-        # Flows start inside the first 70% of the run so the tail has
-        # room to drain (completions are what the percentiles need).
-        horizon = int(until_ns * 0.7)
-
-        for i in range(spec.n_flows):
-            src_r = int(rng.integers(len(racks)))
-            src_h = int(rng.integers(len(racks[src_r])))
-            intra = (
-                len(racks[src_r]) > 1
-                and float(rng.random()) < spec.intra_rack_frac
-            )
-            if intra:
-                dst_r = src_r
-                dst_h = int(rng.integers(len(racks[src_r]) - 1))
-                if dst_h >= src_h:
-                    dst_h += 1  # never loopback
-            else:
-                dst_r = int(rng.integers(len(racks) - 1))
-                if dst_r >= src_r:
-                    dst_r += 1
-                dst_h = int(rng.integers(len(racks[dst_r])))
-            src, dst = racks[src_r][src_h], racks[dst_r][dst_h]
-            nbytes = int(
-                math.exp(
-                    float(
-                        rng.uniform(
-                            math.log(spec.flow_bytes_min),
-                            math.log(spec.flow_bytes_max),
-                        )
-                    )
-                )
-            )
-            start_ns = int(rng.integers(horizon)) if horizon > 0 else 0
-            sv = int(rng.integers(spec.vms_per_host))
-            dv = int(rng.integers(spec.vms_per_host))
-            record = FlowRecord(
-                label=(
-                    f"{src.host.name}.vm{sv}->{dst.host.name}.vm{dv}"
-                ),
-                nbytes=nbytes,
-                cross_rack=src_r != dst_r,
-                start_ns=start_ns,
-            )
-            self.flows.append(record)
-            bed.env.process(
-                self._flow(record, src, dst), name=f"flow.{i}"
-            )
-        del flat  # endpoints are rack-indexed; kept for clarity above
-
-    def _flow(self, record: FlowRecord, src: Node, dst: Node):
-        env = self.bed.env
-        if record.start_ns > 0:
-            yield env.timeout(record.start_ns)
-        transfer = self.bed.fabric.submit(
-            path_between(src.host, dst.host), record.nbytes, record.label
-        )
-        yield transfer.done
-        record.done_ns = env.now
-
-
-def build_cluster(
-    spec: "ClusterSpec | str", seed: int = 7
-) -> ClusterSetup:
-    """Wire a cluster scenario without advancing simulated time."""
+def build_cluster(spec: "ClusterSpec | str", seed: int = 7) -> ClusterSetup:
+    """Wire a serial cluster scenario without advancing simulated time."""
     if isinstance(spec, str):
         spec = cluster_spec(spec)
-
-    bed = Testbed(seed=seed, topology_factory=spec.topology_factory())
-    topo = bed.topology
-    assert topo is not None
-
-    # Population: hosts in rack-major order (matches the topologies'
-    # index -> rack mapping), each with its guest VMs.  Rack heads get
-    # spare cores for the monitored pairs' VMs.
-    n_racks = spec.n_racks
-    hosts_per_rack = spec.n_hosts // n_racks
-    nodes: List[List[Node]] = []
-    for r in range(n_racks):
-        rack: List[Node] = []
-        for h in range(hosts_per_rack):
-            ncpus = spec.vms_per_host + (4 if h == 0 else 1)
-            node = bed.add_node(f"rack{r}-host{h}", ncpus=ncpus)
-            for v in range(spec.vms_per_host):
-                node.create_guest(f"rack{r}-host{h}.vm{v}")
-            rack.append(node)
-        nodes.append(rack)
-
-    setup = ClusterSetup(spec=spec, seed=seed, bed=bed, nodes=nodes)
-    if not spec.with_resex:
-        return setup
-
-    heads = setup.rack_heads
-    # The paper's monitored workload, stretched across the spine: the
-    # reporting pair serves from rack 0's head to rack 1's head, the
-    # interferer from rack 0's head to the last rack's head — so both
-    # servers share rack 0's egress port (the §VII contention point).
-    reporter = BenchExPair(
-        bed, heads[0], heads[1],
-        BenchExConfig(name="rep", warmup_requests=50),
-        with_agent=True,
+    return ClusterSetup(
+        spec=spec, seed=seed, world=ClusterWorld(spec, seed)
     )
-    interferer = BenchExPair(
-        bed, heads[0], heads[-1],
-        BenchExConfig(name="intf", buffer_bytes=2 * MiB),
-    )
-    setup.pairs = [reporter, interferer]
-    setup.reporter = reporter
-
-    # Rack 0 detects (full IOShares); every other rack follows the
-    # federated cluster price.
-    for r, head in enumerate(heads):
-        policy = IOShares() if r == 0 else RackFollower()
-        ctl = ResExController(head, policy)
-        if r == 0:
-            ctl.monitor(reporter.server_dom, agent=reporter.agent,
-                        sla=REPORTING_SLA)
-            ctl.monitor(interferer.server_dom)
-        else:
-            # A follower prices whatever its rack hosts; monitor the
-            # head's first guest so the controller has a population.
-            ctl.monitor(head.hypervisor.guest_domains()[0])
-        ctl.start()
-        setup.controllers.append(ctl)
-
-    federation = ClusterFederation(
-        bed.env, bed.fabric, sync_interval_ns=spec.sync_interval_ns
-    )
-    for r, ctl in enumerate(setup.controllers):
-        federation.register(r, ctl)
-    setup.federation = federation
-    return setup
 
 
 def run_cluster(
     spec: "ClusterSpec | str",
     seed: int = 7,
     sim_s: Optional[float] = None,
+    shards: int = 1,
+    backend: str = "auto",
 ) -> ClusterResult:
-    """Build and run one cluster scenario (the one-call API)."""
-    return build_cluster(spec, seed=seed).execute(sim_s)
+    """Build and run one cluster scenario (the one-call API).
+
+    ``shards > 1`` partitions the run across that many workers along
+    the topology's domain plan; the result is bit-identical to
+    ``shards=1`` (the differential suite holds this to the digest).
+    ``backend`` selects the shard transport (``auto``/``inline``/
+    ``fork``; see :func:`repro.sim.shard.run_sharded`).
+    """
+    if isinstance(spec, str):
+        spec = cluster_spec(spec)
+    until_ns = int((sim_s if sim_s is not None else spec.sim_s) * SEC)
+    plan = spec.domain_plan()
+
+    def build(domains: Optional[Tuple[int, ...]]) -> ClusterWorld:
+        world = ClusterWorld(spec, seed, domains)
+        world.launch(until_ns)
+        return world
+
+    merged, stats = run_sharded(
+        build,
+        n_domains=plan.n_domains,
+        shards=shards,
+        until_ns=until_ns,
+        lookahead_ns=spec.cross_rack_latency_ns,
+        merge=lambda parts: _merge_parts(parts, spec, seed, until_ns),
+        backend=backend,
+    )
+    merged.shard_stats = stats
+    return merged
 
 
 def scaled_spec(spec: ClusterSpec, sim_s: float) -> ClusterSpec:

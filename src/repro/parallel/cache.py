@@ -51,8 +51,16 @@ from repro.errors import CacheCorruption, Uncacheable
 #: changes (also invalidates every existing entry, on purpose).
 CELL_SCHEMA = "repro-cell/1"
 
+#: Spec knobs that change how a cell *executes*, never what it
+#: computes, and are therefore excluded from its content address.
+#: ``shards`` partitions a cluster cell across workers bit-identically
+#: (:mod:`repro.sim.shard`), so a warm entry written by a serial run
+#: must hit for a sharded one and vice versa.
+EXECUTION_ONLY_KEYS = frozenset({"shards"})
+
 __all__ = [
     "CELL_SCHEMA",
+    "EXECUTION_ONLY_KEYS",
     "ResultCache",
     "Uncacheable",
     "canonical",
@@ -176,7 +184,10 @@ def cell_key(
 ) -> str:
     """The content address (SHA-256 hex digest) of one sweep cell.
 
-    Raises :class:`Uncacheable` when ``spec`` cannot be encoded.
+    Execution-only knobs (:data:`EXECUTION_ONLY_KEYS`) are stripped
+    before hashing — they select *how* the cell runs, not what it
+    computes.  Raises :class:`Uncacheable` when ``spec`` cannot be
+    encoded.
     """
     doc = {
         "schema": CELL_SCHEMA,
@@ -184,7 +195,9 @@ def cell_key(
         "kind": kind,
         "name": name,
         "seed": seed,
-        "spec": canonical(spec),
+        "spec": canonical(
+            {k: v for k, v in spec.items() if k not in EXECUTION_ONLY_KEYS}
+        ),
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -288,14 +288,22 @@ def _run_cluster_cell(job: SweepJob) -> Dict[str, float]:
     """Rebuild + run one cluster-scale cell from kwargs.
 
     ``job.name`` is a :data:`~repro.experiments.cluster.CLUSTER_SPECS`
-    preset; ``spec`` may override ``sim_s``.  The result is a plain
-    float dict, so cluster cells are content-addressed cacheable like
-    scenario cells.
+    preset; ``spec`` may override ``sim_s`` and ``shards``.  The result
+    is a plain float dict, so cluster cells are content-addressed
+    cacheable like scenario cells.  ``shards`` changes only how a cell
+    executes, never its metrics (sharding is bit-identical), so a warm
+    cache entry written by a serial run stays valid for a sharded one
+    and vice versa — which is also why ``shards`` is excluded from the
+    cell's content address (see
+    :data:`repro.parallel.cache.EXECUTION_ONLY_KEYS`).
     """
     from repro.experiments.cluster import run_cluster
 
     return run_cluster(
-        job.name, seed=job.seed, sim_s=job.spec.get("sim_s")
+        job.name,
+        seed=job.seed,
+        sim_s=job.spec.get("sim_s"),
+        shards=int(job.spec.get("shards", 1)),
     ).metrics()
 
 

@@ -4,6 +4,8 @@ from repro.resex.controller import MonitoredVM, ResExController
 from repro.resex.federation import (
     ClusterFederation,
     Follower,
+    PriceAgent,
+    PriceCoordinator,
     RackFollower,
     ResExFederation,
 )
@@ -33,6 +35,8 @@ __all__ = [
     "LatencySLA",
     "MonitoredVM",
     "NoOpPolicy",
+    "PriceAgent",
+    "PriceCoordinator",
     "PricingPolicy",
     "ResExController",
     "ResoAccount",

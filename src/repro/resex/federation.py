@@ -36,7 +36,7 @@ than a two-host afterthought:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import PricingError
 from repro.hw.fabric import FluidFabric
@@ -270,5 +270,193 @@ class ClusterFederation:
     def __repr__(self) -> str:
         return (
             f"<ClusterFederation racks={len(self._racks)} "
+            f"price={self.cluster_price:.2f} syncs={self.syncs}>"
+        )
+
+
+#: The wire signature of the message-passing federation: a transport
+#: callback ``send(src_rack, dst_rack, verb, round_no, price)`` owned
+#: by the deployment (the cluster world routes it over per-rack fabric
+#: transfers plus the cross-shard channel).
+FederationSend = Callable[[int, int, str, int, float], None]
+
+#: Sentinel marking a gossip round whose messages were lost (federation
+#: paused by a fault campaign) — the round completes with no effect.
+_LOST: Dict[int, float] = {}
+
+
+class PriceCoordinator:
+    """Rack 0's end of the message-passing price federation.
+
+    :class:`ClusterFederation` mutates every rack's controller directly
+    from one process — fine for a single environment, impossible once
+    racks are partitioned across shard workers
+    (:mod:`repro.sim.shard`).  This pair of endpoints carries the same
+    protocol over *messages only*: each sync round every
+    :class:`PriceAgent` sends its rack's local price to the
+    coordinator (``gather``), which reduces the round with ``max`` and
+    sends the cluster price back (``cast``).  How a message travels is
+    the deployment's business — the ``send`` callback is handed in —
+    so the identical objects run serially or sharded.
+
+    Rounds are numbered by sync ticks (every endpoint ticks on the
+    same interval from t=0, so numbering agrees cluster-wide) and are
+    completed **strictly in order**: gathers for round *k+1* may arrive
+    before round *k* is full (transfer latencies vary with contention),
+    but the reduction and cast for *k+1* never overtake *k*'s.
+    """
+
+    #: Control-message size on the wire (what deployments should charge
+    #: the fabric for).
+    PAYLOAD_BYTES = 256
+
+    def __init__(
+        self,
+        env,
+        controller: "ResExController",
+        n_racks: int,
+        sync_interval_ns: int,
+        send: FederationSend,
+    ) -> None:
+        if sync_interval_ns <= 0:
+            raise PricingError("sync interval must be positive")
+        if n_racks < 2:
+            raise PricingError("a cluster federation needs at least two racks")
+        self.env = env
+        self.controller = controller
+        self.n_racks = n_racks
+        self.sync_interval_ns = sync_interval_ns
+        self.send = send
+        #: The current cluster-wide congestion price (1.0 = calm).
+        self.cluster_price = 1.0
+        self.syncs = 0
+        self.syncs_lost = 0
+        #: Fault-injection hook: while set, new rounds open lost —
+        #: their gathers are dropped and no cast goes out.
+        self.paused = False
+        self._pending: Dict[int, Dict[int, float]] = {}
+        self._round = 0
+        self._completed = 0
+        self._proc = None
+
+    def start(self) -> None:
+        if self._proc is None:
+            self._proc = self.env.process(
+                self._run(), name="resex-price-coordinator"
+            )
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.sync_interval_ns)
+            self._round += 1
+            if self.paused:
+                self.syncs_lost += 1
+                self._pending[self._round] = _LOST
+            else:
+                # The coordinator's own price is sampled when the round
+                # opens — the instant every agent samples theirs.
+                self._pending[self._round] = {
+                    0: self.controller.local_price()
+                }
+            self._try_complete()
+
+    def on_gather(self, round_no: int, src_rack: int, price: float) -> None:
+        """An agent's local price arrived for ``round_no``."""
+        bucket = self._pending.get(round_no)
+        if bucket is None or bucket is _LOST:
+            # Round already closed or lost while paused: message is
+            # stale, drop it (same loss semantics as ClusterFederation).
+            return
+        bucket[src_rack] = price
+        self._try_complete()
+
+    def _try_complete(self) -> None:
+        while True:
+            nxt = self._completed + 1
+            bucket = self._pending.get(nxt)
+            if bucket is None:
+                return
+            if bucket is _LOST:
+                del self._pending[nxt]
+                self._completed = nxt
+                continue
+            if len(bucket) < self.n_racks:
+                return
+            # Reduce in rack order (max is order-free; the iteration
+            # order is pinned anyway for determinism-by-construction).
+            price = max(bucket[r] for r in sorted(bucket))
+            del self._pending[nxt]
+            self._completed = nxt
+            self.cluster_price = price
+            self.controller.cluster_price = price
+            self.syncs += 1
+            for rack in range(1, self.n_racks):
+                self.send(0, rack, "cast", nxt, price)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PriceCoordinator racks={self.n_racks} "
+            f"price={self.cluster_price:.2f} syncs={self.syncs}>"
+        )
+
+
+class PriceAgent:
+    """A non-coordinator rack's end of the price federation.
+
+    Every sync tick it sends its rack's local price to the coordinator;
+    every ``cast`` it applies the reduced cluster price to its
+    controller.  Casts are idempotent per round and never applied out
+    of order (a late-arriving older cast is dropped)."""
+
+    def __init__(
+        self,
+        env,
+        rack_id: int,
+        controller: "ResExController",
+        sync_interval_ns: int,
+        send: FederationSend,
+    ) -> None:
+        if sync_interval_ns <= 0:
+            raise PricingError("sync interval must be positive")
+        if rack_id <= 0:
+            raise PricingError("rack 0 is the coordinator; agents take >= 1")
+        self.env = env
+        self.rack_id = rack_id
+        self.controller = controller
+        self.sync_interval_ns = sync_interval_ns
+        self.send = send
+        self.cluster_price = 1.0
+        #: Rounds whose cast this agent has applied.
+        self.syncs = 0
+        self._round = 0
+        self._applied = 0
+        self._proc = None
+
+    def start(self) -> None:
+        if self._proc is None:
+            self._proc = self.env.process(
+                self._run(), name=f"resex-price-agent-{self.rack_id}"
+            )
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.sync_interval_ns)
+            self._round += 1
+            self.send(
+                self.rack_id, 0, "gather", self._round,
+                self.controller.local_price(),
+            )
+
+    def on_cast(self, round_no: int, price: float) -> None:
+        if round_no <= self._applied:
+            return
+        self._applied = round_no
+        self.cluster_price = price
+        self.controller.cluster_price = price
+        self.syncs += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<PriceAgent rack={self.rack_id} "
             f"price={self.cluster_price:.2f} syncs={self.syncs}>"
         )

@@ -19,6 +19,14 @@ from repro.sim.monitor import Counter, ProbeSet, TimeSeries, jitter, sampled_mea
 from repro.sim.process import Process
 from repro.sim.resources import PriorityResource, Request, Resource
 from repro.sim.rng import RngRegistry
+from repro.sim.shard import (
+    Mailbox,
+    Message,
+    ShardMap,
+    ShardStats,
+    run_sharded,
+    window_boundaries,
+)
 from repro.sim.store import FilterStore, Store
 
 __all__ = [
@@ -32,15 +40,21 @@ __all__ = [
     "FilterStore",
     "INFINITY",
     "Interrupt",
+    "Mailbox",
+    "Message",
     "PriorityResource",
     "ProbeSet",
     "Process",
     "Request",
     "Resource",
     "RngRegistry",
+    "ShardMap",
+    "ShardStats",
     "Store",
     "TimeSeries",
     "Timeout",
     "jitter",
+    "run_sharded",
     "sampled_mean",
+    "window_boundaries",
 ]

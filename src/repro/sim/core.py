@@ -158,6 +158,57 @@ class Environment:
                 raise exc
             raise SimulationError(repr(exc))  # pragma: no cover - defensive
 
+    def run_window(self, limit: int) -> int:
+        """Process every event with timestamp *strictly below* ``limit``.
+
+        The shard kernel's window primitive (:mod:`repro.sim.shard`):
+        a partitioned run advances each shard's heap in half-open
+        windows ``[B_k, B_k+1)`` so that an event at exactly the next
+        barrier time is never pulled into the current window — cross-
+        shard messages delivered *at* a barrier must still order before
+        it.  Events at ``limit`` (and the clock advance to ``limit``)
+        belong to the caller's next window.
+
+        Returns the number of events processed.  The dispatch body is
+        the same inlined loop as :meth:`run` with the window bound
+        added; both must stay semantically identical.
+        """
+        queue = self._queue
+        heappop = heapq.heappop
+        inv = self.invariants
+        processed = 0
+        while queue and queue[0][0] < limit:
+            when, _prio, _seq, event = heappop(queue)
+            if when < self._now and inv.enabled:
+                inv.violation(
+                    GUARD_EVENT_TIME,
+                    when,
+                    f"event at t={when} dispatched after now={self._now}",
+                    now=self._now,
+                )
+            self._now = when
+
+            callbacks = event.callbacks
+            event.callbacks = None  # mark processed
+            if callbacks:
+                for callback in callbacks:
+                    if callback is not None:  # skip tombstoned waiters
+                        callback(event)
+            self._events_processed += 1
+            processed += 1
+            tel = self.telemetry
+            if tel.enabled:
+                tel.kernel_tick(
+                    when, self._events_processed, len(queue), event
+                )
+
+            if not event._ok and not event._defused:
+                exc = event._value
+                if isinstance(exc, BaseException):
+                    raise exc
+                raise SimulationError(repr(exc))  # pragma: no cover
+        return processed
+
     def run(self, until: "int | Event | None" = None) -> Any:
         """Run the simulation.
 

@@ -39,6 +39,13 @@ PENDING = object()
 
 # Scheduling priorities: URGENT events at the same timestamp run before
 # NORMAL ones.  Used by the kernel for interrupts and process bootstrap.
+# DELIVERY is reserved for cross-domain mailbox wake-ups
+# (:mod:`repro.sim.shard`): they must run before *any* same-timestamp
+# domain event regardless of heap insertion order, because in a
+# partitioned run the wake-up may be armed at a barrier (between
+# windows) rather than during event execution, so its sequence number
+# carries no cross-mode meaning.
+DELIVERY = -1
 URGENT = 0
 NORMAL = 1
 

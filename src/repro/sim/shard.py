@@ -1,0 +1,598 @@
+"""Sharded single-run simulation with conservative time synchronization.
+
+The sweep engine (:mod:`repro.parallel`) parallelizes *across*
+independent simulations; this module parallelizes *inside* one.  The
+simulated world is partitioned into **domains** (racks of a cluster
+topology — see :class:`repro.hw.topology.DomainPlan`), and the one rule
+that makes partitioning sound is enforced at the model layer:
+
+    every event touches the state of exactly one domain; all
+    cross-domain influence travels as a :class:`Message` through a
+    :class:`Mailbox`, and every message carries at least
+    ``lookahead_ns`` of latency.
+
+The lookahead is physical: it is the propagation latency of the
+inter-rack links, so a message submitted now cannot affect another
+domain sooner than ``now + lookahead``.  That bound is exactly what a
+conservative parallel DES needs — shards may advance their local event
+heaps through the half-open window ``[B_k, B_k + lookahead)`` without
+hearing from each other, because nothing sent during the window can be
+due before the next barrier ``B_k+1 = B_k + lookahead``.
+
+Determinism contract (the reason sharded == serial bit-for-bit):
+
+* **Delivery order is a pure function of the messages.**  Messages due
+  at the same instant are delivered in ``(origin_domain, origin_seq)``
+  order — submission order per origin, origin id across origins —
+  never in worker-completion or pipe-arrival order (the same
+  submission-order-merge trick as :mod:`repro.parallel`).
+* **Deliveries outrank same-timestamp domain events.**  Mailbox
+  wake-ups are scheduled at the reserved
+  :data:`~repro.sim.events.DELIVERY` priority, so whether the wake-up
+  was armed during event execution (serial: one environment hosts
+  every domain) or at a barrier (sharded: the message crossed a pipe)
+  is unobservable — heap sequence numbers never decide an ordering
+  that spans modes.
+* **Domain state is process-agnostic.**  A domain's trajectory depends
+  only on its own event order and its incoming message sequence, both
+  of which are identical however domains are grouped into shards — so
+  ``shards=1``, ``shards=N`` in-process, and ``shards=N`` across
+  forked workers all produce the same bytes.
+
+Two backends share the barrier loop: ``inline`` keeps every shard in
+the calling process (the reference semantics, and the backend property
+tests permute), ``fork`` runs one OS process per shard with the parent
+relaying message batches between barriers — the multi-core path.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ConfigError, ShardSyncError
+from repro.sim import invariants as _invariants
+from repro.sim.core import Environment
+from repro.sim.events import DELIVERY, Event
+
+
+@dataclass(frozen=True)
+class Message:
+    """One cross-domain event in flight.
+
+    ``payload`` must be plain picklable data (ints, floats, strings,
+    tuples) — in a forked run it crosses a pipe, and the contract that
+    nothing richer crosses is what keeps workers rebuildable from
+    their job spec alone.
+    """
+
+    origin: int
+    seq: int
+    dest: int
+    deliver_at: int
+    kind: str
+    payload: Tuple[Any, ...]
+
+    @property
+    def order_key(self) -> Tuple[int, int]:
+        """The deterministic same-instant delivery order."""
+        return (self.origin, self.seq)
+
+
+class Mailbox:
+    """The cross-domain channel of one environment.
+
+    One mailbox serves every domain hosted by its environment: all of
+    them in a serial run, one shard's worth in a partitioned run.
+    Local deliveries are armed immediately; messages to unregistered
+    (remote) domains accumulate in the outbox until the shard runner
+    drains them at a barrier.
+    """
+
+    def __init__(self, env: Environment, lookahead_ns: int) -> None:
+        if lookahead_ns < 1:
+            raise ConfigError(
+                f"mailbox lookahead must be >= 1 ns, got {lookahead_ns}"
+            )
+        self.env = env
+        self.lookahead_ns = int(lookahead_ns)
+        self._handlers: Dict[int, Callable[[Message], None]] = {}
+        self._origin_seq: Dict[int, int] = {}
+        #: Messages due at a given instant, in arrival order (sorted at
+        #: delivery time — arrival order is not part of the contract).
+        self._pending: Dict[int, List[Message]] = {}
+        self._armed: set = set()
+        self._outbox: List[Message] = []
+        self.sent = 0
+        self.delivered = 0
+        self.cross_shard_sent = 0
+
+    # -- wiring -------------------------------------------------------------
+    def register(self, domain: int, handler: Callable[[Message], None]) -> None:
+        """Declare ``domain`` local, dispatching its deliveries to
+        ``handler``."""
+        if domain in self._handlers:
+            raise ConfigError(f"domain {domain} already has a mailbox handler")
+        self._handlers[int(domain)] = handler
+
+    def is_local(self, domain: int) -> bool:
+        return domain in self._handlers
+
+    @property
+    def local_domains(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._handlers))
+
+    # -- sending ------------------------------------------------------------
+    def send(
+        self,
+        origin: int,
+        dest: int,
+        latency_ns: int,
+        kind: str,
+        payload: Tuple[Any, ...] = (),
+    ) -> Message:
+        """Submit a cross-domain message ``latency_ns`` in the future.
+
+        The latency must honor the conservative lookahead — a message
+        faster than the inter-domain propagation latency could arrive
+        inside a window another shard has already executed.
+        """
+        if dest == origin:
+            raise ShardSyncError(
+                f"domain {origin} may not mail itself; intra-domain "
+                "influence is ordinary event scheduling"
+            )
+        if latency_ns < self.lookahead_ns:
+            raise ShardSyncError(
+                f"cross-domain latency {latency_ns} ns is below the "
+                f"conservative lookahead {self.lookahead_ns} ns"
+            )
+        seq = self._origin_seq.get(origin, 0)
+        self._origin_seq[origin] = seq + 1
+        msg = Message(
+            origin=int(origin),
+            seq=seq,
+            dest=int(dest),
+            deliver_at=self.env.now + int(latency_ns),
+            kind=kind,
+            payload=tuple(payload),
+        )
+        self.sent += 1
+        if msg.dest in self._handlers:
+            self._enqueue(msg)
+        else:
+            self.cross_shard_sent += 1
+            self._outbox.append(msg)
+        return msg
+
+    # -- barrier plumbing ---------------------------------------------------
+    def drain_outbox(self) -> List[Message]:
+        """Take every message bound for a remote shard (barrier step)."""
+        out, self._outbox = self._outbox, []
+        return out
+
+    def ingest(self, messages: Sequence[Message]) -> None:
+        """Accept remote messages handed over at a barrier."""
+        for msg in messages:
+            if msg.dest not in self._handlers:
+                raise ShardSyncError(
+                    f"message for domain {msg.dest} routed to a mailbox "
+                    f"hosting only {self.local_domains}"
+                )
+            self._enqueue(msg)
+
+    # -- delivery -----------------------------------------------------------
+    def _enqueue(self, msg: Message) -> None:
+        if msg.deliver_at < self.env.now:
+            raise ShardSyncError(
+                f"message {msg.kind!r} due at t={msg.deliver_at} arrived "
+                f"behind the clock (now={self.env.now}); the conservative "
+                "horizon was violated"
+            )
+        bucket = self._pending.get(msg.deliver_at)
+        if bucket is None:
+            self._pending[msg.deliver_at] = [msg]
+        else:
+            bucket.append(msg)
+        when = msg.deliver_at
+        if when not in self._armed:
+            self._armed.add(when)
+            wakeup = Event(self.env)
+            wakeup._ok = True
+            wakeup._value = when
+            wakeup.callbacks = [self._deliver]
+            self.env.schedule(
+                wakeup, delay=when - self.env.now, priority=DELIVERY
+            )
+
+    def _deliver(self, wakeup: Event) -> None:
+        when = wakeup._value
+        self._armed.discard(when)
+        batch = self._pending.pop(when, [])
+        # (origin, seq) — never arrival order — decides same-instant
+        # delivery; per destination domain this restriction is the same
+        # sequence under every partitioning.
+        batch.sort(key=lambda m: (m.origin, m.seq))
+        for msg in batch:
+            self.delivered += 1
+            self._handlers[msg.dest](msg)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Mailbox domains={self.local_domains} sent={self.sent} "
+            f"delivered={self.delivered}>"
+        )
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Contiguous assignment of ``n_domains`` domains to ``shards``.
+
+    Contiguity preserves locality for topology-derived domains (racks
+    that share a spec prefix land together); determinism needs only
+    that the map is a pure function of its inputs.
+    """
+
+    n_domains: int
+    shards: int
+
+    def __post_init__(self) -> None:
+        if self.n_domains < 1:
+            raise ConfigError(f"need >= 1 domain, got {self.n_domains}")
+        if not 1 <= self.shards <= self.n_domains:
+            raise ConfigError(
+                f"shards must be in [1, {self.n_domains}] "
+                f"(one per domain at most), got {self.shards}"
+            )
+
+    def domains_of(self, shard: int) -> Tuple[int, ...]:
+        if not 0 <= shard < self.shards:
+            raise ConfigError(f"no such shard {shard} (have {self.shards})")
+        base, rem = divmod(self.n_domains, self.shards)
+        start = shard * base + min(shard, rem)
+        size = base + (1 if shard < rem else 0)
+        return tuple(range(start, start + size))
+
+    def shard_of(self, domain: int) -> int:
+        if not 0 <= domain < self.n_domains:
+            raise ConfigError(
+                f"no such domain {domain} (have {self.n_domains})"
+            )
+        base, rem = divmod(self.n_domains, self.shards)
+        split = rem * (base + 1)
+        if domain < split:
+            return domain // (base + 1)
+        return rem + (domain - split) // base
+
+
+@dataclass
+class ShardStats:
+    """Execution statistics of one sharded run.
+
+    Deliberately *not* part of any deterministic digest: event counts
+    differ between serial and sharded runs (one delivery wake-up per
+    instant per environment), and wall times are the host's business.
+    """
+
+    shards: int = 1
+    backend: str = "serial"
+    windows: int = 0
+    barriers: int = 0
+    messages_exchanged: int = 0
+    events_per_shard: List[int] = field(default_factory=list)
+    sent_per_shard: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "backend": self.backend,
+            "windows": self.windows,
+            "barriers": self.barriers,
+            "messages_exchanged": self.messages_exchanged,
+            "events_per_shard": list(self.events_per_shard),
+            "sent_per_shard": list(self.sent_per_shard),
+        }
+
+
+def window_boundaries(until_ns: int, lookahead_ns: int) -> List[int]:
+    """Barrier instants for a run to ``until_ns``: ``k * lookahead``
+    capped at ``until_ns``, final barrier exactly at ``until_ns``."""
+    if until_ns < 0:
+        raise ConfigError(f"until_ns must be >= 0, got {until_ns}")
+    if lookahead_ns < 1:
+        raise ConfigError(f"lookahead must be >= 1 ns, got {lookahead_ns}")
+    bounds = []
+    t = 0
+    while t < until_ns:
+        t = min(t + lookahead_ns, until_ns)
+        bounds.append(t)
+    return bounds
+
+
+class ShardWorld:
+    """Protocol of the object :func:`run_sharded`'s builder returns.
+
+    Duck-typed — anything with these attributes works:
+
+    ``env``
+        the shard's :class:`~repro.sim.core.Environment`;
+    ``mailbox``
+        its :class:`Mailbox`, with every owned domain registered;
+    ``finalize()``
+        picklable partial result after the run (crosses a pipe under
+        the fork backend).
+    """
+
+    env: Environment
+    mailbox: Mailbox
+
+    def finalize(self) -> Any:  # pragma: no cover - protocol stub
+        raise NotImplementedError
+
+
+def _run_shard_windows(
+    world, bounds: Sequence[int], exchange: Callable[[int, List[Message]], List[Message]]
+) -> None:
+    """Drive one shard through every window.
+
+    ``exchange(k, outgoing) -> incoming`` is the barrier: the inline
+    backend routes directly, the fork backend talks to the parent.
+    """
+    for k, limit in enumerate(bounds):
+        world.env.run_window(limit)
+        incoming = exchange(k, world.mailbox.drain_outbox())
+        world.mailbox.ingest(incoming)
+
+
+def _finish_shard(world, until_ns: int) -> None:
+    """The closing phase: events at exactly ``until_ns``.
+
+    Messages submitted here are due strictly after the end of the run
+    and stay undelivered in every mode, so no barrier follows.
+    """
+    world.env.run(until=until_ns)
+
+
+def run_sharded(
+    build: Callable[[Optional[Tuple[int, ...]]], Any],
+    *,
+    n_domains: int,
+    shards: int,
+    until_ns: int,
+    lookahead_ns: int,
+    merge: Callable[[List[Any]], Any],
+    backend: str = "auto",
+    inline_order: Optional[Callable[[int, List[int]], List[int]]] = None,
+) -> Tuple[Any, ShardStats]:
+    """Run one partitioned simulation; merge per-shard partials.
+
+    ``build(domains)`` constructs a :class:`ShardWorld` owning exactly
+    ``domains`` (``None`` means *all* — the serial fast path, which
+    runs the single environment straight through with no windows).
+    ``merge`` folds the per-shard ``finalize()`` results, always in
+    shard order.  ``backend`` is ``"serial"`` (forced single
+    environment), ``"inline"`` (N worlds, one process — the reference
+    the property tests permute via ``inline_order``), ``"fork"`` (one
+    process per shard), or ``"auto"`` (fork when available and
+    ``shards > 1``, else inline).
+    """
+    shard_map = ShardMap(n_domains, shards)
+    if backend not in ("auto", "serial", "inline", "fork"):
+        raise ConfigError(f"unknown shard backend {backend!r}")
+    if backend == "serial" and shards != 1:
+        raise ConfigError("backend='serial' requires shards=1")
+
+    if shards == 1 and backend in ("auto", "serial"):
+        world = build(None)
+        world.env.run(until=until_ns)
+        stats = ShardStats(
+            shards=1,
+            backend="serial",
+            events_per_shard=[world.env.events_processed],
+            sent_per_shard=[world.mailbox.sent],
+        )
+        return merge([world.finalize()]), stats
+
+    if backend == "auto":
+        backend = "fork" if _fork_available() else "inline"
+    bounds = window_boundaries(until_ns, lookahead_ns)
+    if backend == "inline":
+        return _run_inline(
+            build, shard_map, bounds, until_ns, merge, inline_order
+        )
+    return _run_forked(build, shard_map, bounds, until_ns, merge)
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# -- inline backend ----------------------------------------------------------
+
+def _run_inline(
+    build,
+    shard_map: ShardMap,
+    bounds: Sequence[int],
+    until_ns: int,
+    merge,
+    inline_order,
+) -> Tuple[Any, ShardStats]:
+    worlds = [build(shard_map.domains_of(s)) for s in range(shard_map.shards)]
+    domain_shard = {
+        d: s for s in range(shard_map.shards) for d in shard_map.domains_of(s)
+    }
+    stats = ShardStats(
+        shards=shard_map.shards, backend="inline", windows=len(bounds)
+    )
+    for k, limit in enumerate(bounds):
+        order = list(range(shard_map.shards))
+        if inline_order is not None:
+            order = list(inline_order(k, order))
+            if sorted(order) != list(range(shard_map.shards)):
+                raise ConfigError(
+                    f"inline_order returned {order}, not a permutation"
+                )
+        batches: List[List[Message]] = [[] for _ in range(shard_map.shards)]
+        for s in order:
+            worlds[s].env.run_window(limit)
+            for msg in worlds[s].mailbox.drain_outbox():
+                batches[domain_shard[msg.dest]].append(msg)
+                stats.messages_exchanged += 1
+        # Hand over after every shard ran its window: a batch's content
+        # is then independent of the execution order above.
+        for s in range(shard_map.shards):
+            worlds[s].mailbox.ingest(batches[s])
+        stats.barriers += 1
+    for world in worlds:
+        _finish_shard(world, until_ns)
+    stats.events_per_shard = [w.env.events_processed for w in worlds]
+    stats.sent_per_shard = [w.mailbox.sent for w in worlds]
+    return merge([w.finalize() for w in worlds]), stats
+
+
+# -- fork backend ------------------------------------------------------------
+
+def _shard_worker(build, domains, bounds, until_ns, conn) -> None:
+    """One shard's process: windows, barriers, final phase, envelope."""
+    envelope: Dict[str, Any] = {}
+    ambient = _invariants.current()
+    monitor = _invariants.monitor_for_mode(ambient.mode)
+    _invariants.install(monitor)
+    try:
+        world = build(tuple(domains))
+
+        def exchange(k: int, outgoing: List[Message]) -> List[Message]:
+            conn.send({"outbox": outgoing})
+            reply = conn.recv()
+            return reply["inbox"]
+
+        _run_shard_windows(world, bounds, exchange)
+        _finish_shard(world, until_ns)
+        envelope["result"] = world.finalize()
+        envelope["events"] = world.env.events_processed
+        envelope["sent"] = world.mailbox.sent
+    except BaseException as exc:
+        envelope = {
+            "error": f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        }
+    finally:
+        _invariants.install(ambient)
+    if monitor.tainted:
+        envelope["tainted"] = True
+        envelope["violations"] = monitor.to_dicts()
+    conn.send({"final": envelope})
+    conn.close()
+
+
+def _run_forked(
+    build, shard_map: ShardMap, bounds: Sequence[int], until_ns: int, merge
+) -> Tuple[Any, ShardStats]:
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    stats = ShardStats(
+        shards=shard_map.shards, backend="fork", windows=len(bounds)
+    )
+    domain_shard = {
+        d: s for s in range(shard_map.shards) for d in shard_map.domains_of(s)
+    }
+    pipes = []
+    procs = []
+    try:
+        for s in range(shard_map.shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(
+                    build, shard_map.domains_of(s), list(bounds), until_ns,
+                    child_conn,
+                ),
+                name=f"repro-shard-{s}",
+            )
+            proc.start()
+            child_conn.close()
+            pipes.append(parent_conn)
+            procs.append(proc)
+
+        def _recv(s: int) -> Dict[str, Any]:
+            try:
+                return pipes[s].recv()
+            except EOFError:
+                raise ShardSyncError(
+                    f"shard {s} worker died mid-run (pipe closed); "
+                    "see its stderr for the traceback"
+                ) from None
+
+        failure: Optional[str] = None
+        for _k in bounds:
+            batches: List[List[Message]] = [
+                [] for _ in range(shard_map.shards)
+            ]
+            frames = []
+            for s in range(shard_map.shards):
+                frame = _recv(s)
+                if "final" in frame:  # worker failed and sent its envelope
+                    err = frame["final"].get("error", "unknown worker error")
+                    failure = f"shard {s}: {err}"
+                    break
+                frames.append(frame)
+            if failure is not None:
+                break
+            for frame in frames:
+                for msg in frame["outbox"]:
+                    batches[domain_shard[msg.dest]].append(msg)
+                    stats.messages_exchanged += 1
+            for s in range(shard_map.shards):
+                pipes[s].send({"inbox": batches[s]})
+            stats.barriers += 1
+
+        if failure is not None:
+            raise ShardSyncError(failure)
+
+        envelopes = []
+        for s in range(shard_map.shards):
+            frame = _recv(s)
+            envelopes.append(frame["final"])
+    finally:
+        for conn in pipes:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join()
+
+    errors = [
+        f"shard {s}: {env['error']}"
+        for s, env in enumerate(envelopes)
+        if "error" in env
+    ]
+    if errors:
+        raise ShardSyncError("; ".join(errors))
+    # Re-record worker-side invariant violations into the parent's
+    # ambient monitor so a sharded cell taints exactly like a serial
+    # one would.
+    ambient = _invariants.current()
+    for s, env_ in enumerate(envelopes):
+        if env_.get("tainted") and ambient.enabled:
+            for v in env_.get("violations", ()):
+                ambient.violation(
+                    v.get("guard", "shard.worker"),
+                    int(v.get("ts_ns", 0)),
+                    f"[shard {s}] {v.get('message', '')}",
+                    **v.get("details", {}),
+                )
+    stats.events_per_shard = [env_["events"] for env_ in envelopes]
+    stats.sent_per_shard = [env_["sent"] for env_ in envelopes]
+    return merge([env_["result"] for env_ in envelopes]), stats

@@ -247,3 +247,111 @@ class TestTopologyTraffic:
         t = fabric.submit(path_between(hosts[0], hosts[1]), 1_000_000, "a")
         assert all("leaf" not in link.name for link in t.path)
         assert t.rate == pytest.approx(BPS / 1e9)
+
+
+class TestDomainPlans:
+    """The shardable plan of a topology must mirror the real thing:
+    same link inventory (disjoint across domains), same routes for
+    every host pair — so a cluster partitioned on the plan contends on
+    exactly the links a monolithic fabric would."""
+
+    def _middle(self, hosts, i, j):
+        """Switch-hop names of the real route (host ports stripped)."""
+        return [link.name for link in path_between(hosts[i], hosts[j])][1:-1]
+
+    def _assert_routes_match(self, plan, hosts):
+        n = len(hosts)
+        assert n == plan.n_hosts
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                middle = self._middle(hosts, i, j)
+                if plan.domain_of(i) == plan.domain_of(j):
+                    assert list(plan.intra_hops(i, j)) == middle, (i, j)
+                else:
+                    src_side, dst_side = plan.cross_hops(i, j)
+                    assert list(src_side) + list(dst_side) == middle, (i, j)
+
+    def _assert_links_partition(self, plan, fabric):
+        """Every switch link is owned by exactly one domain, at the
+        rate the real fabric created it with."""
+        owned = [
+            link
+            for d in range(plan.n_domains)
+            for link in plan.domain_links(d)
+        ]
+        names = [name for name, _bps in owned]
+        assert len(names) == len(set(names)), "link owned by two domains"
+        assert sorted(names) == sorted(fabric.links)
+        for name, bps in owned:
+            assert fabric.links[name].nominal_bps == pytest.approx(bps)
+
+    def test_leaf_spine_plan_matches_topology(self):
+        from repro.hw.topology import LeafSpinePlan
+
+        fabric = _fabric()
+        topo = LeafSpine(fabric, BPS, racks=3, hosts_per_rack=2, spines=2)
+        plan = LeafSpinePlan(
+            racks=3, hosts_per_rack=2, spines=2, link_bytes_per_sec=BPS
+        )
+        self._assert_links_partition(plan, fabric)  # before host ports
+        hosts = _attach_hosts(topo, 6)
+        self._assert_routes_match(plan, hosts)
+        for i in range(6):
+            assert plan.domain_of(i) == topo.rack_of(hosts[i])
+            assert i in plan.hosts_of(plan.domain_of(i))
+
+    def test_leaf_spine_plan_oversubscribed_uplinks(self):
+        from repro.hw.topology import LeafSpinePlan
+
+        fabric = _fabric()
+        LeafSpine(
+            fabric, BPS, racks=2, hosts_per_rack=2, spines=1,
+            uplink_bytes_per_sec=BPS / 4,
+        )
+        plan = LeafSpinePlan(
+            racks=2, hosts_per_rack=2, spines=1,
+            link_bytes_per_sec=BPS, uplink_bytes_per_sec=BPS / 4,
+        )
+        self._assert_links_partition(plan, fabric)
+
+    def test_fat_tree_plan_matches_topology(self):
+        from repro.hw.topology import FatTreePlan
+
+        fabric = _fabric()
+        topo = FatTree(fabric, BPS, k=4)
+        plan = FatTreePlan(k=4, link_bytes_per_sec=BPS)
+        self._assert_links_partition(plan, fabric)
+        hosts = _attach_hosts(topo, 16)
+        self._assert_routes_match(plan, hosts)
+        per_pod = 4  # (k/2)^2
+        for i in range(16):
+            assert plan.domain_of(i) == i // per_pod
+            assert i in plan.hosts_of(plan.domain_of(i))
+
+    def test_plan_route_split_misuse_rejected(self):
+        from repro.hw.topology import FatTreePlan, LeafSpinePlan
+
+        ls = LeafSpinePlan(
+            racks=2, hosts_per_rack=2, spines=1, link_bytes_per_sec=BPS
+        )
+        with pytest.raises(ConfigError, match="share rack"):
+            ls.cross_hops(0, 1)
+        ft = FatTreePlan(k=4, link_bytes_per_sec=BPS)
+        with pytest.raises(ConfigError, match="different pods"):
+            ft.intra_hops(0, 4)
+        with pytest.raises(ConfigError, match="share pod"):
+            ft.cross_hops(0, 1)
+        with pytest.raises(ConfigError, match="out of range"):
+            ls.intra_hops(0, 99)
+
+    def test_plan_validation(self):
+        from repro.hw.topology import FatTreePlan, LeafSpinePlan
+
+        with pytest.raises(ConfigError):
+            LeafSpinePlan(
+                racks=0, hosts_per_rack=2, spines=1, link_bytes_per_sec=BPS
+            )
+        with pytest.raises(ConfigError):
+            FatTreePlan(k=3, link_bytes_per_sec=BPS)

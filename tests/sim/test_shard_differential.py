@@ -1,0 +1,115 @@
+"""Differential fence: sharded cluster runs == serial, bit for bit.
+
+The shard kernel's whole value rests on one claim: partitioning a
+cluster run across workers changes *nothing* observable — same
+metrics dict (byte-identical canonical JSON), same golden digest —
+for every shard count, every backend, every topology, with and
+without a chaos campaign.  This suite holds that claim to the digest
+on the registered presets.
+"""
+
+import json
+
+import pytest
+
+from dataclasses import replace
+
+from repro.experiments.cluster import (
+    ClusterSpec,
+    cluster_spec,
+    run_cluster,
+    scaled_spec,
+)
+from repro.sim import invariants
+from repro.supervise.manifest import result_digest
+
+#: Sim durations are cut far below the presets' (the fence is about
+#: equality, not steady state) but stay long enough that flows cross
+#: racks, the federation completes rounds, and chaos flaps land.
+SMOKE = scaled_spec(cluster_spec("cluster_smoke"), 0.02)
+SCALE = scaled_spec(cluster_spec("cluster_scale"), 0.01)
+FAT_TREE = ClusterSpec(
+    name="diff_fat_tree", topology="fat-tree", fat_tree_k=4,
+    vms_per_host=2, n_flows=60, sim_s=0.02,
+)
+CHAOS = replace(SMOKE, name="diff_chaos", chaos_flaps=2)
+
+
+def _serial(spec, seed=7):
+    with invariants.activate("record") as monitor:
+        result = run_cluster(spec, seed=seed)
+    assert not monitor.tainted, monitor.to_dicts()
+    return result
+
+
+def _canonical(metrics):
+    return json.dumps(metrics, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    """One serial reference run per spec, shared across the matrix."""
+    return {
+        spec.name: _serial(spec).metrics()
+        for spec in (SMOKE, SCALE, FAT_TREE, CHAOS)
+    }
+
+
+class TestShardDifferential:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "spec", [SMOKE, SCALE, FAT_TREE, CHAOS], ids=lambda s: s.name
+    )
+    def test_inline_matches_serial(self, serial_results, spec, shards):
+        reference = serial_results[spec.name]
+        with invariants.activate("record") as monitor:
+            result = run_cluster(spec, seed=7, shards=shards, backend="inline")
+        assert not monitor.tainted, monitor.to_dicts()
+        metrics = result.metrics()
+        assert _canonical(metrics) == _canonical(reference)
+        assert result_digest(metrics) == result_digest(reference)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_forked_matches_serial(self, serial_results, shards):
+        """The real multi-process transport, on the CI-sized preset."""
+        with invariants.activate("record") as monitor:
+            result = run_cluster(SMOKE, seed=7, shards=shards, backend="fork")
+        assert not monitor.tainted, monitor.to_dicts()
+        metrics = result.metrics()
+        assert _canonical(metrics) == _canonical(serial_results[SMOKE.name])
+
+    def test_forked_chaos_campaign_matches_serial(self, serial_results):
+        """Fault campaigns shard too: per-rack link flaps are rack-local
+        state, so a forked run replays them identically."""
+        result = run_cluster(CHAOS, seed=7, shards=4, backend="fork")
+        metrics = result.metrics()
+        assert _canonical(metrics) == _canonical(serial_results[CHAOS.name])
+
+    def test_seed_sensitivity_is_preserved(self, serial_results):
+        """Sharding must not flatten seed sensitivity: a different seed
+        diverges identically in both modes."""
+        other_serial = _serial(SMOKE, seed=8).metrics()
+        assert _canonical(other_serial) != _canonical(
+            serial_results[SMOKE.name]
+        )
+        other_sharded = run_cluster(
+            SMOKE, seed=8, shards=2, backend="inline"
+        ).metrics()
+        assert _canonical(other_sharded) == _canonical(other_serial)
+
+    def test_shard_stats_report_execution_shape(self):
+        result = run_cluster(SMOKE, seed=7, shards=2, backend="inline")
+        stats = result.shard_stats
+        assert stats is not None
+        assert stats.shards == 2
+        assert stats.backend == "inline"
+        assert stats.windows > 0
+        assert stats.messages_exchanged > 0
+        # ShardStats never leak into the deterministic projection.
+        assert "shards" not in result.metrics()
+
+    def test_shards_must_divide_domains(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_cluster(SMOKE, seed=7, shards=5)  # only 4 racks

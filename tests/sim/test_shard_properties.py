@@ -1,0 +1,293 @@
+"""Property fence for the conservative shard-synchronization kernel.
+
+Hypothesis-driven invariants of :mod:`repro.sim.shard`, independent of
+the cluster model (a scripted toy world with echo replies stands in):
+
+* **Conservative horizon** — no cross-domain message is ever delivered
+  earlier than its send time plus the lookahead, under any partition.
+* **Barrier monotonicity** — :func:`window_boundaries` is strictly
+  increasing, gap-bounded by the lookahead, and ends exactly at the
+  run horizon.
+* **Order independence** — the merged outcome does not depend on the
+  order shards execute their windows in (the stand-in for worker
+  completion order): any per-window permutation produces the same
+  bytes as the identity order, which produces the same bytes as the
+  serial run.
+
+Runs under the pinned derandomized profiles of ``tests/conftest.py``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.errors import ConfigError, ShardSyncError
+from repro.sim import Environment
+from repro.sim.shard import (
+    Mailbox,
+    Message,
+    ShardMap,
+    run_sharded,
+    window_boundaries,
+)
+
+LOOKAHEAD = 100
+UNTIL = 1_500
+
+
+class EchoWorld:
+    """Scripted multi-domain toy world.
+
+    ``schedule`` rows are ``(send_at, src, dst, extra_latency, ttl)``:
+    domain ``src`` mails ``dst`` at ``send_at`` with ``LOOKAHEAD +
+    extra_latency`` of delay; a receiver with ``ttl > 0`` echoes back
+    immediately (a send issued *during* message delivery — the hard
+    case for barrier bookkeeping).  Every delivery is logged with its
+    full identity, so sorted logs are comparable across partitions.
+    """
+
+    def __init__(self, domains, schedule):
+        self.env = Environment()
+        self.mailbox = Mailbox(self.env, LOOKAHEAD)
+        self.log = []
+        self.horizon_violations = 0
+        for d in domains:
+            self.mailbox.register(d, self._on_msg)
+        for tag, (at, src, dst, extra, ttl) in enumerate(schedule):
+            if src in domains and src != dst:
+                self.env.process(self._sender(at, src, dst, extra, ttl, tag))
+
+    def _sender(self, at, src, dst, extra, ttl, tag):
+        if at:
+            yield self.env.timeout(at)
+        self.mailbox.send(
+            src, dst, LOOKAHEAD + extra, "ping", (tag, ttl, self.env.now)
+        )
+
+    def _on_msg(self, msg):
+        tag, ttl, sent_at = msg.payload
+        if self.env.now - sent_at < LOOKAHEAD:
+            self.horizon_violations += 1
+        self.log.append((self.env.now, msg.origin, msg.dest, tag, ttl))
+        if ttl > 0:
+            self.mailbox.send(
+                msg.dest, msg.origin, LOOKAHEAD,
+                "ping", (tag, ttl - 1, self.env.now),
+            )
+
+    def finalize(self):
+        return {"log": self.log, "violations": self.horizon_violations}
+
+
+def _merge(parts):
+    log = sorted(entry for part in parts for entry in part["log"])
+    return {
+        "log": log,
+        "violations": sum(part["violations"] for part in parts),
+    }
+
+
+def _run(n_domains, shards, schedule, backend="inline", inline_order=None):
+    result, stats = run_sharded(
+        lambda doms: EchoWorld(
+            range(n_domains) if doms is None else doms, schedule
+        ),
+        n_domains=n_domains,
+        shards=shards,
+        until_ns=UNTIL,
+        lookahead_ns=LOOKAHEAD,
+        merge=_merge,
+        backend=backend,
+        inline_order=inline_order,
+    )
+    return result, stats
+
+
+def _schedules(n_domains):
+    return st.lists(
+        st.tuples(
+            st.integers(0, 600),               # send_at
+            st.integers(0, n_domains - 1),     # src
+            st.integers(0, n_domains - 1),     # dst
+            st.integers(0, 150),               # extra latency
+            st.integers(0, 2),                 # echo depth
+        ),
+        max_size=12,
+    )
+
+
+#: (n_domains, shards, schedule) with 1 <= shards <= n_domains.
+world_cases = st.integers(2, 5).flatmap(
+    lambda n: st.tuples(
+        st.just(n), st.integers(1, n), _schedules(n)
+    )
+)
+
+
+class TestConservativeSync:
+    @given(case=world_cases)
+    @settings(max_examples=150)
+    def test_sharded_equals_serial_and_horizon_holds(self, case):
+        n_domains, shards, schedule = case
+        serial, _ = _run(n_domains, 1, schedule, backend="serial")
+        assert serial["violations"] == 0
+        sharded, stats = _run(n_domains, shards, schedule)
+        assert sharded["violations"] == 0
+        assert sharded["log"] == serial["log"]
+        if shards > 1:
+            assert stats.barriers == stats.windows
+
+    @given(case=world_cases, rotations=st.lists(st.integers(0, 4), max_size=8))
+    @settings(max_examples=150)
+    def test_merge_is_execution_order_independent(self, case, rotations):
+        """Permuting which shard runs its window first never changes
+        the merged outcome — completion order is not an input."""
+        n_domains, shards, schedule = case
+
+        def permute(k, order):
+            if not rotations:
+                return list(reversed(order))
+            r = rotations[k % len(rotations)] % len(order)
+            return order[r:] + order[:r]
+
+        identity, _ = _run(n_domains, shards, schedule)
+        permuted, _ = _run(
+            n_domains, shards, schedule, inline_order=permute
+        )
+        assert permuted == identity
+
+    @given(
+        until=st.integers(0, 10_000),
+        lookahead=st.integers(1, 3_000),
+    )
+    @settings(max_examples=300)
+    def test_window_boundaries_monotonic_and_exact(self, until, lookahead):
+        bounds = window_boundaries(until, lookahead)
+        assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+        assert all(0 < b <= until for b in bounds)
+        if until > 0:
+            assert bounds[-1] == until
+            gaps = [b2 - b1 for b1, b2 in zip([0] + bounds, bounds)]
+            assert all(gap <= lookahead for gap in gaps)
+        else:
+            assert bounds == []
+
+    @given(
+        shape=st.integers(1, 64).flatmap(
+            lambda n: st.tuples(st.just(n), st.integers(1, n))
+        )
+    )
+    @settings(max_examples=300)
+    def test_shard_map_partitions_contiguously(self, shape):
+        n_domains, shards = shape
+        smap = ShardMap(n_domains, shards)
+        seen = []
+        for s in range(shards):
+            block = smap.domains_of(s)
+            assert block  # never an empty shard
+            assert list(block) == list(range(block[0], block[-1] + 1))
+            for d in block:
+                assert smap.shard_of(d) == s
+            seen.extend(block)
+        assert seen == list(range(n_domains))
+        sizes = [len(smap.domains_of(s)) for s in range(shards)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestMailboxGuards:
+    def test_latency_below_lookahead_rejected(self):
+        mailbox = Mailbox(Environment(), LOOKAHEAD)
+        mailbox.register(0, lambda msg: None)
+        with pytest.raises(ShardSyncError):
+            mailbox.send(0, 1, LOOKAHEAD - 1, "ping")
+
+    def test_self_send_rejected(self):
+        mailbox = Mailbox(Environment(), LOOKAHEAD)
+        mailbox.register(0, lambda msg: None)
+        with pytest.raises(ShardSyncError):
+            mailbox.send(0, 0, LOOKAHEAD, "ping")
+
+    def test_stale_ingest_rejected(self):
+        """A message arriving behind the destination clock is the
+        conservative horizon breaking — loudly, not silently."""
+        env = Environment()
+        mailbox = Mailbox(env, LOOKAHEAD)
+        mailbox.register(0, lambda msg: None)
+        env.timeout(50)
+        env.run()
+        assert env.now == 50
+        stale = Message(
+            origin=1, seq=0, dest=0, deliver_at=10, kind="ping", payload=()
+        )
+        with pytest.raises(ShardSyncError):
+            mailbox.ingest([stale])
+
+    def test_misrouted_ingest_rejected(self):
+        mailbox = Mailbox(Environment(), LOOKAHEAD)
+        mailbox.register(0, lambda msg: None)
+        lost = Message(
+            origin=0, seq=0, dest=7, deliver_at=200, kind="ping", payload=()
+        )
+        with pytest.raises(ShardSyncError):
+            mailbox.ingest([lost])
+
+    def test_same_instant_delivery_orders_by_origin_then_seq(self):
+        env = Environment()
+        mailbox = Mailbox(env, LOOKAHEAD)
+        order = []
+        mailbox.register(0, lambda msg: order.append(msg.order_key))
+        # Ingest in scrambled arrival order; delivery must sort.
+        mailbox.ingest(
+            [
+                Message(2, 0, 0, LOOKAHEAD, "p", ()),
+                Message(1, 1, 0, LOOKAHEAD, "p", ()),
+                Message(1, 0, 0, LOOKAHEAD, "p", ()),
+            ]
+        )
+        env.run()
+        assert order == [(1, 0), (1, 1), (2, 0)]
+
+
+class TestForkBackendToyWorld:
+    def test_fork_matches_inline_on_echo_world(self):
+        schedule = [
+            (0, 0, 1, 0, 2),
+            (120, 1, 2, 30, 1),
+            (120, 2, 0, 0, 0),
+            (400, 0, 2, 150, 2),
+        ]
+        inline, _ = _run(3, 3, schedule, backend="inline")
+        forked, stats = _run(3, 3, schedule, backend="fork")
+        assert forked == inline
+        assert stats.backend == "fork"
+        assert stats.messages_exchanged > 0
+
+    def test_worker_failure_surfaces_as_shard_sync_error(self):
+        class ExplodingWorld(EchoWorld):
+            def _on_msg(self, msg):
+                raise RuntimeError("boom in shard worker")
+
+        with pytest.raises(ShardSyncError, match="boom"):
+            run_sharded(
+                lambda doms: ExplodingWorld(doms, [(0, 0, 1, 0, 0)]),
+                n_domains=2,
+                shards=2,
+                until_ns=UNTIL,
+                lookahead_ns=LOOKAHEAD,
+                merge=_merge,
+                backend="fork",
+            )
+
+
+class TestRunShardedValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            _run(2, 2, [], backend="threads")
+
+    def test_serial_backend_requires_one_shard(self):
+        with pytest.raises(ConfigError):
+            _run(2, 2, [], backend="serial")
+
+    def test_more_shards_than_domains_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardMap(2, 3)

@@ -47,6 +47,12 @@ class TestSpecs:
             ClusterSpec(name="x", intra_rack_frac=1.5)
         with pytest.raises(ConfigError, match="flow_bytes"):
             ClusterSpec(name="x", flow_bytes_min=0)
+        with pytest.raises(ConfigError, match="cross_rack_latency_ns"):
+            ClusterSpec(name="x", cross_rack_latency_ns=0)
+        with pytest.raises(ConfigError, match="chaos_flaps"):
+            ClusterSpec(name="x", chaos_flaps=-1)
+        with pytest.raises(ConfigError, match="hosts per rack"):
+            ClusterSpec(name="x", hosts_per_rack=1, vms_per_host=1)
 
     def test_fat_tree_shape(self):
         spec = cluster_spec("cluster_fat_tree")
@@ -159,3 +165,16 @@ class TestClusterCommand:
 
     def test_unknown_preset_is_clean_error(self, capsys):
         assert main(["cluster", "bogus"]) != 0
+
+    def test_sharded_run_reports_matching_digest(self, capsys):
+        """--shards is an execution knob: the JSON doc carries shard
+        stats but the digest equals the serial run's."""
+        base = ["cluster", "cluster_smoke", "--sim-s", "0.02", "--json"]
+        assert main(base) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(base + ["--shards", "2", "--shard-backend", "inline"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert sharded["shards"] == 2
+        assert sharded["shard_stats"]["backend"] == "inline"
+        assert sharded["digest"] == serial["digest"]
+        assert sharded["metrics"] == serial["metrics"]
