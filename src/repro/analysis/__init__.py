@@ -1,5 +1,11 @@
 """Result analysis: summaries, reductions, exports and text rendering."""
 
+from repro.analysis.profiling import (
+    ProfileReport,
+    bucket_of,
+    profile_call,
+    write_collapsed,
+)
 from repro.analysis.export import (
     figure_to_json,
     write_figure_json,
@@ -21,6 +27,10 @@ from repro.analysis.trace import (
 
 __all__ = [
     "LatencySummary",
+    "ProfileReport",
+    "bucket_of",
+    "profile_call",
+    "write_collapsed",
     "chrome_trace_events",
     "downsample",
     "figure_to_json",

@@ -267,50 +267,107 @@ def cluster_scale(sim_s: float = 0.25) -> Dict[str, Any]:
     }
 
 
-def cluster_scale_sharded(sim_s: float = 0.1, shards: int = 4) -> Dict[str, Any]:
+def cluster_scale_sharded(
+    sim_s: float = 0.1, shards: int = 4, rounds: int = 5
+) -> Dict[str, Any]:
     """Serial vs sharded A/B of the 256-host cluster (shard tentpole).
 
-    Runs ``cluster_scale`` serially and again partitioned across
-    ``shards`` forked workers along the rack plan
-    (:mod:`repro.sim.shard`), interleaved over the caller's rounds.
-    The honest statistics are in ``meta``: ``shard_speedup_wall``
-    (serial wall / sharded wall — bounded by the host's core count,
-    also recorded: a 1-CPU host cannot show a speedup and will honestly
-    report ~1x or below, since barriers and pipes are pure overhead
-    there) and ``identical`` (the serial and sharded metric dicts must
-    compare equal, bit for bit — the contract the differential suite
-    enforces; a bench run that ever saw ``identical: false`` is
-    reporting a kernel bug, not noise).
+    Runs ``cluster_scale`` serially and partitioned across ``shards``
+    forked workers along the rack plan (:mod:`repro.sim.shard`), and
+    reports the honest statistics in ``meta``:
+
+    * ``shard_speedup_wall`` — serial wall / sharded wall, best-of-
+      ``rounds`` per arm after a short warmup, arms interleaved with
+      alternating order so neither is systematically the "cold" run.
+      On a host with fewer CPUs than shards this number is physically
+      meaningless as a *speedup* (the workers time-slice one core), so
+      it is reported as ``None`` with ``skipped_reason`` set; the raw
+      walls are still recorded.
+    * ``identical`` — the serial and sharded metric dicts compare
+      equal, bit for bit (the differential suite's contract; a bench
+      run that ever saw ``identical: false`` is reporting a kernel
+      bug, not noise).
+    * ``barriers`` vs ``windows`` — how much of the barrier schedule
+      elision coalesced away (``max_stride`` is the largest single
+      stride taken).
     """
     import os
 
     from repro.experiments.cluster import run_cluster
 
-    wall0 = time.perf_counter()
-    serial = run_cluster("cluster_scale", seed=7, sim_s=sim_s).metrics()
-    serial_wall = time.perf_counter() - wall0
+    def serial_arm():
+        return run_cluster("cluster_scale", seed=7, sim_s=sim_s)
 
-    wall0 = time.perf_counter()
-    sharded_result = run_cluster(
-        "cluster_scale", seed=7, sim_s=sim_s, shards=shards, backend="fork"
+    def sharded_arm():
+        return run_cluster(
+            "cluster_scale", seed=7, sim_s=sim_s, shards=shards,
+            backend="fork",
+        )
+
+    # Warm both arms (imports, allocator growth, fork machinery) so
+    # neither measured round pays first-run costs.
+    warm = min(sim_s / 5.0, 0.02)
+    run_cluster("cluster_scale", seed=7, sim_s=warm)
+    run_cluster(
+        "cluster_scale", seed=7, sim_s=warm, shards=shards, backend="fork"
     )
-    sharded_wall = time.perf_counter() - wall0
-    sharded = sharded_result.metrics()
-    stats = sharded_result.shard_stats
 
-    return {
+    serial_walls: List[float] = []
+    sharded_walls: List[float] = []
+    serial_metrics: Dict[str, Any] = {}
+    sharded_metrics: Dict[str, Any] = {}
+    stats = None
+    for r in range(max(1, rounds)):
+        order = (
+            [("serial", serial_arm), ("sharded", sharded_arm)]
+            if r % 2 == 0
+            else [("sharded", sharded_arm), ("serial", serial_arm)]
+        )
+        for name, arm in order:
+            wall0 = time.perf_counter()
+            result = arm()
+            wall = time.perf_counter() - wall0
+            if name == "serial":
+                serial_walls.append(wall)
+                serial_metrics = result.metrics()
+            else:
+                sharded_walls.append(wall)
+                sharded_metrics = result.metrics()
+                stats = result.shard_stats
+
+    serial_wall = min(serial_walls)
+    sharded_wall = min(sharded_walls)
+    cpus = os.cpu_count() or 1
+    if cpus >= shards:
+        speedup: "float | None" = round(serial_wall / sharded_wall, 3)
+        skipped_reason: "str | None" = None
+    else:
+        speedup = None
+        skipped_reason = (
+            f"host has {cpus} CPU(s) < {shards} shards; wall-clock "
+            "speedup is not measurable (workers time-slice one core)"
+        )
+
+    meta: Dict[str, Any] = {
         "sim_s": sim_s,
         "shards": shards,
-        "cpus": os.cpu_count(),
+        "cpus": cpus,
+        "rounds": max(1, rounds),
         "serial_wall_s": round(serial_wall, 4),
         "sharded_wall_s": round(sharded_wall, 4),
-        "shard_speedup_wall": round(serial_wall / sharded_wall, 3),
+        "shard_speedup_wall": speedup,
         "barriers": stats.barriers if stats is not None else 0,
+        "windows": stats.windows if stats is not None else 0,
+        "max_stride": stats.max_stride if stats is not None else 1,
+        "coalesce": True,
         "messages_exchanged": (
             stats.messages_exchanged if stats is not None else 0
         ),
-        "identical": serial == sharded,
+        "identical": serial_metrics == sharded_metrics,
     }
+    if skipped_reason is not None:
+        meta["skipped_reason"] = skipped_reason
+    return meta
 
 
 def service_throughput(requests: int = 2000) -> Dict[str, Any]:

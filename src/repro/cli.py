@@ -205,6 +205,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         result = run_cluster(
             args.preset, seed=args.seed, sim_s=args.sim_s,
             shards=args.shards, backend=args.shard_backend,
+            coalesce=not args.no_coalesce,
         )
     tainted = monitor is not None and monitor.tainted
     if tainted:
@@ -239,6 +240,54 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             ),
         )
     )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one cluster preset or scenario run."""
+    import json as _json
+
+    from repro.analysis.profiling import profile_call, write_collapsed
+    from repro.experiments.cluster import CLUSTER_SPECS
+
+    if args.target in CLUSTER_SPECS:
+        from repro.experiments.cluster import run_cluster
+
+        def runner():
+            # Inline backend: the deterministic profiler only sees this
+            # process, and inline is bit-identical to fork.
+            return run_cluster(
+                args.target, seed=args.seed, sim_s=args.sim_s,
+                shards=args.shards,
+                backend="inline" if args.shards > 1 else "auto",
+            )
+    else:
+        from repro.experiments.scenarios import run_scenario
+
+        if args.shards > 1:
+            print("error: --shards applies to cluster presets only",
+                  file=sys.stderr)
+            return 2
+
+        def runner():
+            kwargs = {}
+            if args.sim_s is not None:
+                kwargs["sim_s"] = args.sim_s
+            return run_scenario(args.target, seed=args.seed, **kwargs)
+
+    _, report = profile_call(runner, top=args.top, memory=args.memory)
+
+    if args.collapsed:
+        write_collapsed(report, args.collapsed)
+        get_logger().info(
+            f"wrote {len(report.collapsed)} collapsed-stack lines to "
+            f"{args.collapsed}"
+        )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"profile: {args.target} (seed={args.seed})")
+        print(report.render(), end="")
     return 0
 
 
@@ -933,6 +982,13 @@ def build_parser() -> argparse.ArgumentParser:
         "round-robin (default auto)",
     )
     cluster.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable barrier elision: one shard exchange per lookahead "
+        "window (execution shape only — bytes are identical either way; "
+        "the escape hatch CI's differential compares against)",
+    )
+    cluster.add_argument(
         "--invariants",
         choices=["off", "record", "strict"],
         default="off",
@@ -945,6 +1001,48 @@ def build_parser() -> argparse.ArgumentParser:
         "canonical metrics digest)",
     )
     cluster.set_defaults(func=_cmd_cluster)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile a cluster preset or scenario run: per-layer time "
+        "buckets (kernel/mailbox/barrier/fabric/model), a hot-spot "
+        "table, and flamegraph-ready collapsed stacks",
+    )
+    add_verbosity_args(profile)
+    profile.add_argument(
+        "target",
+        nargs="?",
+        default="cluster_smoke",
+        help="cluster preset or scenario name (default cluster_smoke)",
+    )
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument(
+        "--sim-s", type=float, default=None,
+        help="override the target's simulated duration",
+    )
+    profile.add_argument(
+        "--shards", type=int, default=1,
+        help="profile a sharded cluster run (inline backend, so the "
+        "profiler sees the workers; default 1)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=25,
+        help="hot-spot table length (default 25)",
+    )
+    profile.add_argument(
+        "--memory", action="store_true",
+        help="also trace allocations (tracemalloc; slower) and report "
+        "peak size plus top allocation sites",
+    )
+    profile.add_argument(
+        "--collapsed", metavar="PATH", default=None,
+        help="write flamegraph.pl/speedscope collapsed stacks to PATH",
+    )
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit the bucket table and hot spots as JSON",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     serve = sub.add_parser(
         "serve",

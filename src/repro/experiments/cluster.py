@@ -123,6 +123,17 @@ class ClusterSpec:
     #: (spine/core crossing).  Doubles as the conservative lookahead of
     #: a sharded run: no cross-domain influence can arrive sooner.
     cross_rack_latency_ns: int = 200 * US
+    #: Forwarding cycle of the inter-domain backplane.  Relays handed
+    #: to the spine/core stage depart in batches at multiples of this
+    #: epoch (store-and-forward switches forward in scheduled cycles,
+    #: aligned here with the federation's own 2 ms gossip cadence)
+    #: rather than at arbitrary transfer-completion instants.  Besides
+    #: being the batching a scheduled backplane actually does, it makes
+    #: the egress schedule *predictable*: between epochs a domain can
+    #: promise it will not send, which is exactly the send horizon the
+    #: shard kernel's barrier elision needs (a coalesced run barriers
+    #: per epoch, not per lookahead window).
+    relay_epoch_ns: int = 2 * MS
     #: Deterministic link flaps per rack (rack-head egress degraded to
     #: 25% capacity), drawn from per-rack chaos streams.  0 = calm.
     chaos_flaps: int = 0
@@ -146,6 +157,8 @@ class ClusterSpec:
             raise ConfigError("a cluster needs at least two racks")
         if self.cross_rack_latency_ns < 1:
             raise ConfigError("cross_rack_latency_ns must be >= 1")
+        if self.relay_epoch_ns < 1:
+            raise ConfigError("relay_epoch_ns must be >= 1")
         if self.chaos_flaps < 0:
             raise ConfigError("chaos_flaps must be >= 0")
         if self.with_resex and self.rack_hosts < 2:
@@ -412,6 +425,14 @@ class ClusterWorld:
         #: Local racks (ascending) -> their nodes in host order.
         self.nodes_by_rack: Dict[int, List[Node]] = {}
 
+        #: Relay egress batches awaiting their backplane forwarding
+        #: epoch: departure instant -> [(origin, dest, kind, payload)]
+        #: in hand-over order.  Populated by :meth:`_relay`, drained by
+        #: :meth:`_flush_egress`; its keys (plus the next epoch
+        #: boundary) are this world's send horizon.
+        self._egress: Dict[int, List[Tuple[int, int, str, Tuple[Any, ...]]]] = {}
+        self.mailbox.horizon_fn = self._send_horizon
+
         self.records: List[FlowRecord] = []
         self.done: Dict[str, int] = {}
         self.pairs: List[BenchExPair] = []
@@ -509,22 +530,66 @@ class ClusterWorld:
     def _relay(
         self, origin: int, dest: int, kind: str, payload: Tuple[Any, ...]
     ) -> None:
-        """Hand a message to another domain (or to this one's future).
+        """Hand a message to the inter-domain backplane.
 
-        Cross-domain goes through the mailbox; an intra-domain relay
-        (fat-tree racks sharing a pod) pays the same latency through a
-        plain timer — same environment in every mode, so no ordering
-        contract is needed beyond the kernel's.
+        The backplane forwards in scheduled cycles: a relay queued now
+        departs at the next multiple of ``relay_epoch_ns`` (strictly in
+        the future) and then pays the propagation latency.  Batching is
+        what a store-and-forward stage does anyway; the payoff here is
+        that *between* epochs this world provably cannot send, which is
+        the send horizon (:meth:`_send_horizon`) barrier elision runs
+        on.  Cross-domain departures go through the mailbox; an
+        intra-domain relay (fat-tree racks sharing a pod) pays the same
+        epoch + latency through a plain timer — same environment in
+        every mode, so no ordering contract is needed beyond the
+        kernel's.
         """
-        if dest != origin:
-            self.mailbox.send(
-                origin, dest, self.spec.cross_rack_latency_ns, kind, payload
+        epoch = self.spec.relay_epoch_ns
+        departure = (self.env.now // epoch + 1) * epoch
+        queue = self._egress.get(departure)
+        if queue is None:
+            queue = self._egress[departure] = []
+            timer = self.env.timeout(departure - self.env.now)
+            timer.callbacks.append(
+                lambda _ev, at=departure: self._flush_egress(at)
             )
-            return
-        timer = self.env.timeout(self.spec.cross_rack_latency_ns)
-        timer.callbacks.append(
-            lambda _ev: self._dispatch(kind, payload)
-        )
+        queue.append((origin, dest, kind, payload))
+
+    def _flush_egress(self, departure: int) -> None:
+        """One backplane forwarding cycle: every queued relay departs.
+
+        Hand-over order is event order within this world — identical
+        however domains are grouped into worlds, so the per-origin
+        mailbox sequence (the delivery tie-breaker) is partition-
+        independent.
+        """
+        latency = self.spec.cross_rack_latency_ns
+        for origin, dest, kind, payload in self._egress.pop(departure):
+            if dest != origin:
+                self.mailbox.send(origin, dest, latency, kind, payload)
+            else:
+                timer = self.env.timeout(latency)
+                timer.callbacks.append(
+                    lambda _ev, k=kind, p=payload: self._dispatch(k, p)
+                )
+
+    def _send_horizon(self) -> int:
+        """Earliest future instant this world could mail another domain.
+
+        Sends happen only inside :meth:`_flush_egress`, i.e. at epoch
+        boundaries: the earliest already-armed departure, or — when
+        nothing is queued yet — the next boundary (a relay queued at
+        ``t >= now`` cannot depart before it).  Registered as the
+        mailbox's ``horizon_fn``; the shard kernel turns the promise
+        into multi-window strides.
+        """
+        epoch = self.spec.relay_epoch_ns
+        nxt = (self.env.now // epoch + 1) * epoch
+        if self._egress:
+            armed = min(self._egress)
+            if armed < nxt:
+                return armed
+        return nxt
 
     def _on_message(self, msg: Message) -> None:
         self._dispatch(msg.kind, msg.payload)
@@ -906,6 +971,7 @@ def run_cluster(
     sim_s: Optional[float] = None,
     shards: int = 1,
     backend: str = "auto",
+    coalesce: bool = True,
 ) -> ClusterResult:
     """Build and run one cluster scenario (the one-call API).
 
@@ -914,6 +980,9 @@ def run_cluster(
     ``shards=1`` (the differential suite holds this to the digest).
     ``backend`` selects the shard transport (``auto``/``inline``/
     ``fork``; see :func:`repro.sim.shard.run_sharded`).
+    ``coalesce=False`` disables barrier elision (one exchange per
+    lookahead window — the escape hatch CI compares against; execution
+    shape only, never bytes).
     """
     if isinstance(spec, str):
         spec = cluster_spec(spec)
@@ -933,6 +1002,7 @@ def run_cluster(
         lookahead_ns=spec.cross_rack_latency_ns,
         merge=lambda parts: _merge_parts(parts, spec, seed, until_ns),
         backend=backend,
+        coalesce=coalesce,
     )
     merged.shard_stats = stats
     return merged

@@ -55,8 +55,10 @@ CELL_SCHEMA = "repro-cell/1"
 #: computes, and are therefore excluded from its content address.
 #: ``shards`` partitions a cluster cell across workers bit-identically
 #: (:mod:`repro.sim.shard`), so a warm entry written by a serial run
-#: must hit for a sharded one and vice versa.
-EXECUTION_ONLY_KEYS = frozenset({"shards"})
+#: must hit for a sharded one and vice versa; ``coalesce`` only picks
+#: how many lookahead windows ride one barrier (execution shape, same
+#: bytes), so it is equally address-neutral.
+EXECUTION_ONLY_KEYS = frozenset({"shards", "coalesce"})
 
 __all__ = [
     "CELL_SCHEMA",

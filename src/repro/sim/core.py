@@ -176,37 +176,43 @@ class Environment:
         queue = self._queue
         heappop = heapq.heappop
         inv = self.invariants
+        tel = self.telemetry
+        base = self._events_processed
         processed = 0
-        while queue and queue[0][0] < limit:
-            when, _prio, _seq, event = heappop(queue)
-            if when < self._now and inv.enabled:
-                inv.violation(
-                    GUARD_EVENT_TIME,
-                    when,
-                    f"event at t={when} dispatched after now={self._now}",
-                    now=self._now,
-                )
-            self._now = when
+        try:
+            while queue and queue[0][0] < limit:
+                when, _prio, _seq, event = heappop(queue)
+                if when < self._now and inv.enabled:
+                    inv.violation(
+                        GUARD_EVENT_TIME,
+                        when,
+                        f"event at t={when} dispatched after now={self._now}",
+                        now=self._now,
+                    )
+                self._now = when
 
-            callbacks = event.callbacks
-            event.callbacks = None  # mark processed
-            if callbacks:
-                for callback in callbacks:
-                    if callback is not None:  # skip tombstoned waiters
-                        callback(event)
-            self._events_processed += 1
-            processed += 1
-            tel = self.telemetry
-            if tel.enabled:
-                tel.kernel_tick(
-                    when, self._events_processed, len(queue), event
-                )
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                if callbacks:
+                    for callback in callbacks:
+                        if callback is not None:  # skip tombstoned waiters
+                            callback(event)
+                processed += 1
+                if tel.enabled:
+                    tel.kernel_tick(
+                        when, base + processed, len(queue), event
+                    )
 
-            if not event._ok and not event._defused:
-                exc = event._value
-                if isinstance(exc, BaseException):
-                    raise exc
-                raise SimulationError(repr(exc))  # pragma: no cover
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise SimulationError(repr(exc))  # pragma: no cover
+        finally:
+            # The counter rides a local inside the loop (one attribute
+            # write per window instead of one per event); the writeback
+            # must survive a raising callback or the tally drifts.
+            self._events_processed = base + processed
         return processed
 
     def run(self, until: "int | Event | None" = None) -> Any:

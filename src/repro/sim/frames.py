@@ -1,0 +1,208 @@
+"""Struct-packed wire frames for cross-shard message batches.
+
+The fork backend used to pickle every :class:`~repro.sim.shard.Message`
+individually — per barrier, per message, one dataclass pickle with its
+class-path header.  A barrier's worth of traffic between one shard pair
+is better treated as what it is: a batch of fixed-shape records.  This
+module packs such a batch into **one** contiguous frame:
+
+``RXF1 | count:u32 | record*``
+
+with each record::
+
+    origin:i64 seq:i64 dest:i64 deliver_at:i64
+    kind_len:u16 kind:utf8
+    payload_mode:u8 payload...
+
+``payload_mode`` 0 is the fast path — a flat tuple of tagged scalars
+(``None``/bool/int64/float64/str), each element one tag byte plus its
+fixed- or length-prefixed encoding; IEEE doubles round-trip bit-exactly
+via ``!d``.  Anything richer (nested tuples, big ints, arbitrary
+objects) falls back to ``payload_mode`` 1: a length-prefixed pickle of
+that one payload, so the contract stays "any picklable payload works"
+while the common all-scalar batch never touches the pickler.
+
+Decoding restores the batch sorted by ``(origin, seq)`` — the
+deterministic same-instant delivery order — regardless of encode
+order, so a routed frame is ingestible as-is.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import ShardSyncError
+from repro.sim.shard_types import Message
+
+MAGIC = b"RXF1"
+
+_HEAD = struct.Struct("!I")
+_RECORD = struct.Struct("!qqqq")
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+#: Payload modes.
+_SCALARS = 0
+_PICKLE = 1
+
+#: Scalar element tags (one byte each).
+_TAG_NONE = ord("N")
+_TAG_TRUE = ord("T")
+_TAG_FALSE = ord("F")
+_TAG_INT = ord("I")
+_TAG_FLOAT = ord("D")
+_TAG_STR = ord("S")
+
+
+def _encode_scalars(payload: Tuple[Any, ...]) -> "bytes | None":
+    """The fast path: a flat tuple of tagged scalars, or ``None`` if
+    any element needs the pickle fallback."""
+    if len(payload) > 0xFFFF:
+        return None
+    parts = [_U16.pack(len(payload))]
+    for item in payload:
+        if item is None:
+            parts.append(_U8.pack(_TAG_NONE))
+        elif item is True:
+            parts.append(_U8.pack(_TAG_TRUE))
+        elif item is False:
+            parts.append(_U8.pack(_TAG_FALSE))
+        elif type(item) is int:
+            if not _I64_MIN <= item <= _I64_MAX:
+                return None
+            parts.append(_U8.pack(_TAG_INT) + _I64.pack(item))
+        elif type(item) is float:
+            parts.append(_U8.pack(_TAG_FLOAT) + _F64.pack(item))
+        elif type(item) is str:
+            try:
+                raw = item.encode("utf-8")
+            except UnicodeEncodeError:
+                return None  # lone surrogates etc. -> pickle
+            if len(raw) > 0xFFFFFFFF:  # pragma: no cover - absurd
+                return None
+            parts.append(_U8.pack(_TAG_STR) + _U32.pack(len(raw)) + raw)
+        else:
+            return None
+    return b"".join(parts)
+
+
+class _Reader:
+    """Bounds-checked cursor over one frame."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise ShardSyncError(
+                f"truncated shard frame: wanted {n} bytes at offset "
+                f"{self.pos}, frame is {len(self.data)} bytes"
+            )
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def unpack(self, fmt: struct.Struct):
+        return fmt.unpack(self.take(fmt.size))
+
+
+def _decode_scalars(reader: _Reader) -> Tuple[Any, ...]:
+    (count,) = reader.unpack(_U16)
+    items: List[Any] = []
+    for _ in range(count):
+        (tag,) = reader.unpack(_U8)
+        if tag == _TAG_NONE:
+            items.append(None)
+        elif tag == _TAG_TRUE:
+            items.append(True)
+        elif tag == _TAG_FALSE:
+            items.append(False)
+        elif tag == _TAG_INT:
+            items.append(reader.unpack(_I64)[0])
+        elif tag == _TAG_FLOAT:
+            items.append(reader.unpack(_F64)[0])
+        elif tag == _TAG_STR:
+            (nraw,) = reader.unpack(_U32)
+            items.append(reader.take(nraw).decode("utf-8"))
+        else:
+            raise ShardSyncError(
+                f"unknown scalar tag {tag:#x} in shard frame"
+            )
+    return tuple(items)
+
+
+def encode_batch(messages: Sequence[Message]) -> bytes:
+    """Pack one barrier's batch for one shard pair into a frame."""
+    parts = [MAGIC, _HEAD.pack(len(messages))]
+    for msg in messages:
+        parts.append(
+            _RECORD.pack(msg.origin, msg.seq, msg.dest, msg.deliver_at)
+        )
+        kind = msg.kind.encode("utf-8")
+        if len(kind) > 0xFFFF:
+            raise ShardSyncError(
+                f"message kind of {len(kind)} bytes exceeds the frame "
+                "format's u16 length"
+            )
+        parts.append(_U16.pack(len(kind)))
+        parts.append(kind)
+        scalars = _encode_scalars(msg.payload)
+        if scalars is not None:
+            parts.append(_U8.pack(_SCALARS))
+            parts.append(scalars)
+        else:
+            raw = pickle.dumps(msg.payload, protocol=pickle.HIGHEST_PROTOCOL)
+            parts.append(_U8.pack(_PICKLE))
+            parts.append(_U32.pack(len(raw)))
+            parts.append(raw)
+    return b"".join(parts)
+
+
+def decode_batch(data: bytes) -> List[Message]:
+    """Unpack a frame; the batch comes back ``(origin, seq)``-sorted."""
+    if data[:4] != MAGIC:
+        raise ShardSyncError(
+            f"bad shard frame magic {data[:4]!r} (want {MAGIC!r})"
+        )
+    reader = _Reader(data)
+    reader.pos = 4
+    (count,) = reader.unpack(_HEAD)
+    messages: List[Message] = []
+    for _ in range(count):
+        origin, seq, dest, deliver_at = reader.unpack(_RECORD)
+        (kind_len,) = reader.unpack(_U16)
+        kind = reader.take(kind_len).decode("utf-8")
+        (mode,) = reader.unpack(_U8)
+        if mode == _SCALARS:
+            payload = _decode_scalars(reader)
+        elif mode == _PICKLE:
+            (nraw,) = reader.unpack(_U32)
+            payload = pickle.loads(reader.take(nraw))
+        else:
+            raise ShardSyncError(
+                f"unknown payload mode {mode:#x} in shard frame"
+            )
+        messages.append(
+            Message(
+                origin=origin, seq=seq, dest=dest, deliver_at=deliver_at,
+                kind=kind, payload=payload,
+            )
+        )
+    if reader.pos != len(data):
+        raise ShardSyncError(
+            f"shard frame has {len(data) - reader.pos} trailing bytes"
+        )
+    messages.sort(key=lambda m: (m.origin, m.seq))
+    return messages

@@ -1,0 +1,38 @@
+"""The cross-domain message record shared by the shard kernel and its
+wire format.
+
+Split out of :mod:`repro.sim.shard` so :mod:`repro.sim.frames` (which
+packs batches of these) and the kernel (which routes them) can both
+import the type without a cycle.  Public API re-exports from
+:mod:`repro.sim.shard`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """One cross-domain event in flight.
+
+    ``payload`` must be plain picklable data (ints, floats, strings,
+    tuples) — in a forked run it crosses a pipe, and the contract that
+    nothing richer crosses is what keeps workers rebuildable from
+    their job spec alone.  Flat tuples of scalars ride the struct-packed
+    fast path of :mod:`repro.sim.frames`; anything richer pays a
+    per-payload pickle.
+    """
+
+    origin: int
+    seq: int
+    dest: int
+    deliver_at: int
+    kind: str
+    payload: Tuple[Any, ...]
+
+    @property
+    def order_key(self) -> Tuple[int, int]:
+        """The deterministic same-instant delivery order."""
+        return (self.origin, self.seq)

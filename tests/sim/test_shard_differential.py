@@ -78,6 +78,34 @@ class TestShardDifferential:
         metrics = result.metrics()
         assert _canonical(metrics) == _canonical(serial_results[SMOKE.name])
 
+    @pytest.mark.parametrize("backend", ["inline", "fork"])
+    @pytest.mark.parametrize("coalesce", [True, False], ids=["on", "off"])
+    @pytest.mark.parametrize(
+        "spec", [SMOKE, SCALE], ids=lambda s: s.name
+    )
+    def test_coalescing_matrix_matches_serial(
+        self, serial_results, spec, coalesce, backend
+    ):
+        """Barrier elision x transport: every cell byte-identical to
+        serial.  With elision off, every window pays a barrier and the
+        stride never leaves 1; with it on, barriers shrink (strictly,
+        on these presets' epoch-batched relay traffic)."""
+        with invariants.activate("record") as monitor:
+            result = run_cluster(
+                spec, seed=7, shards=2, backend=backend, coalesce=coalesce
+            )
+        assert not monitor.tainted, monitor.to_dicts()
+        assert _canonical(result.metrics()) == _canonical(
+            serial_results[spec.name]
+        )
+        stats = result.shard_stats
+        if coalesce:
+            assert stats.barriers < stats.windows
+            assert stats.max_stride > 1
+        else:
+            assert stats.barriers == stats.windows
+            assert stats.max_stride == 1
+
     def test_forked_chaos_campaign_matches_serial(self, serial_results):
         """Fault campaigns shard too: per-rack link flaps are rack-local
         state, so a forked run replays them identically."""

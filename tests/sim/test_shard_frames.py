@@ -1,0 +1,190 @@
+"""Property fence for the shard wire format (:mod:`repro.sim.frames`).
+
+The fork backend's correctness rests on ``decode_batch(encode_batch(b))``
+being the identity (up to the canonical ``(origin, seq)`` sort) for
+*every* batch the kernel can produce — scalar fast-path payloads and
+pickle-fallback payloads alike.  Hypothesis drives the round trip;
+pinned cases cover the format's edges (empty batch, max-width scalar
+vectors, deliberately corrupted frames).
+
+Runs under the pinned derandomized profiles of ``tests/conftest.py``.
+"""
+
+import pickle
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.errors import ShardSyncError
+from repro.sim.frames import (
+    MAGIC,
+    _PICKLE,
+    _SCALARS,
+    decode_batch,
+    encode_batch,
+)
+from repro.sim.shard_types import Message
+
+I64 = st.integers(-(2**63), 2**63 - 1)
+U63 = st.integers(0, 2**63 - 1)
+
+#: Scalars the struct fast path covers.
+fast_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    I64,
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+)
+
+#: Payload elements that must route through the pickle fallback.
+slow_elements = st.one_of(
+    st.integers(2**63, 2**70),                 # beyond i64
+    st.integers(-(2**70), -(2**63) - 1),
+    st.tuples(st.integers(), st.integers()),   # nested tuple
+    st.binary(max_size=16),                    # bytes aren't scalars
+    st.lists(st.integers(), max_size=3).map(tuple),
+)
+
+payloads = st.one_of(
+    st.lists(fast_scalars, max_size=8).map(tuple),
+    st.lists(st.one_of(fast_scalars, slow_elements), min_size=1,
+             max_size=6).map(tuple),
+)
+
+
+def message_strategy(origin=U63, seq=U63):
+    return st.builds(
+        Message,
+        origin=origin,
+        seq=seq,
+        dest=U63,
+        deliver_at=U63,
+        kind=st.text(max_size=20),
+        payload=payloads,
+    )
+
+
+batches = st.lists(message_strategy(), max_size=20)
+
+#: Batches with unique ``(origin, seq)`` keys — the kernel's actual
+#: contract (``seq`` is a per-origin counter), needed wherever tie
+#: order would otherwise be unspecified.
+unique_batches = st.lists(
+    message_strategy(), max_size=20,
+    unique_by=lambda m: (m.origin, m.seq),
+)
+
+
+def canonical(messages):
+    return sorted(messages, key=lambda m: (m.origin, m.seq))
+
+
+class TestRoundTrip:
+    @given(batch=batches)
+    @settings(max_examples=300)
+    def test_decode_inverts_encode_up_to_canonical_order(self, batch):
+        assert decode_batch(encode_batch(batch)) == canonical(batch)
+
+    @given(batch=unique_batches)
+    @settings(max_examples=100)
+    def test_decode_order_is_independent_of_encode_order(self, batch):
+        """Any permutation of the batch encodes to a frame that decodes
+        to the same canonical sequence — routing code may append
+        messages in any order."""
+        assert decode_batch(encode_batch(list(reversed(batch)))) == (
+            decode_batch(encode_batch(batch))
+        )
+
+    @given(
+        payload=st.lists(slow_elements, min_size=1, max_size=4).map(tuple)
+    )
+    @settings(max_examples=100)
+    def test_pickle_fallback_payloads_round_trip(self, payload):
+        msg = Message(1, 2, 3, 400, "blob", payload)
+        frame = encode_batch([msg])
+        assert decode_batch(frame) == [msg]
+        # And the frame really did take the fallback: mode byte after
+        # the fixed record header + kind is _PICKLE.
+        mode_off = 4 + 4 + 32 + 2 + len("blob")
+        assert frame[mode_off] == _PICKLE
+
+    def test_float_payloads_round_trip_bit_exactly(self):
+        values = (0.0, -0.0, 1e-320, float("inf"), float("-inf"), 2.0**52)
+        msg = Message(0, 0, 1, 10, "f", values)
+        (out,) = decode_batch(encode_batch([msg]))
+        assert [struct.pack("!d", v) for v in out.payload] == [
+            struct.pack("!d", v) for v in values
+        ]
+
+    def test_empty_batch_is_a_valid_frame(self):
+        frame = encode_batch([])
+        assert frame == MAGIC + struct.pack("!I", 0)
+        assert decode_batch(frame) == []
+
+    def test_max_width_scalar_vector_stays_on_fast_path(self):
+        payload = tuple(range(0xFFFF))
+        msg = Message(0, 0, 1, 10, "wide", payload)
+        frame = encode_batch([msg])
+        mode_off = 4 + 4 + 32 + 2 + len("wide")
+        assert frame[mode_off] == _SCALARS
+        assert decode_batch(frame) == [msg]
+
+    def test_one_element_past_max_width_falls_back_to_pickle(self):
+        payload = tuple(range(0xFFFF + 1))
+        msg = Message(0, 0, 1, 10, "wide", payload)
+        frame = encode_batch([msg])
+        mode_off = 4 + 4 + 32 + 2 + len("wide")
+        assert frame[mode_off] == _PICKLE
+        assert decode_batch(frame) == [msg]
+
+    def test_bool_and_int_survive_distinctly(self):
+        """True is not 1 after a round trip — the tag encoding must
+        keep bool identity (payload equality via == would hide it)."""
+        msg = Message(0, 0, 1, 10, "b", (True, 1, False, 0))
+        (out,) = decode_batch(encode_batch([msg]))
+        assert [type(v) for v in out.payload] == [bool, int, bool, int]
+
+
+class TestCorruptFrames:
+    def _frame(self):
+        return encode_batch(
+            [Message(1, 2, 3, 400, "ping", (42, "x", None))]
+        )
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ShardSyncError, match="magic"):
+            decode_batch(b"NOPE" + self._frame()[4:])
+
+    def test_truncated_frame_rejected(self):
+        frame = self._frame()
+        for cut in (5, len(frame) // 2, len(frame) - 1):
+            with pytest.raises(ShardSyncError, match="truncated"):
+                decode_batch(frame[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ShardSyncError, match="trailing"):
+            decode_batch(self._frame() + b"\x00")
+
+    def test_unknown_payload_mode_rejected(self):
+        frame = bytearray(self._frame())
+        mode_off = 4 + 4 + 32 + 2 + len("ping")
+        assert frame[mode_off] == _SCALARS
+        frame[mode_off] = 0x7F
+        with pytest.raises(ShardSyncError, match="payload mode"):
+            decode_batch(bytes(frame))
+
+    def test_unknown_scalar_tag_rejected(self):
+        frame = bytearray(self._frame())
+        # First scalar tag: after magic+count+record+kind+mode+elems u16.
+        tag_off = 4 + 4 + 32 + 2 + len("ping") + 1 + 2
+        frame[tag_off] = 0x7F
+        with pytest.raises(ShardSyncError, match="scalar tag"):
+            decode_batch(bytes(frame))
+
+    def test_oversized_kind_rejected_at_encode(self):
+        msg = Message(0, 0, 1, 10, "k" * 0x10000, ())
+        with pytest.raises(ShardSyncError, match="kind"):
+            encode_batch([msg])

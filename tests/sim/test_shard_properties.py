@@ -87,7 +87,10 @@ def _merge(parts):
     }
 
 
-def _run(n_domains, shards, schedule, backend="inline", inline_order=None):
+def _run(
+    n_domains, shards, schedule, backend="inline", inline_order=None,
+    coalesce=True,
+):
     result, stats = run_sharded(
         lambda doms: EchoWorld(
             range(n_domains) if doms is None else doms, schedule
@@ -99,6 +102,7 @@ def _run(n_domains, shards, schedule, backend="inline", inline_order=None):
         merge=_merge,
         backend=backend,
         inline_order=inline_order,
+        coalesce=coalesce,
     )
     return result, stats
 
@@ -135,7 +139,24 @@ class TestConservativeSync:
         assert sharded["violations"] == 0
         assert sharded["log"] == serial["log"]
         if shards > 1:
-            assert stats.barriers == stats.windows
+            # Elision may skip quiet barriers but never invents one.
+            assert 1 <= stats.barriers <= stats.windows
+            assert stats.max_stride >= 1
+
+    @given(case=world_cases)
+    @settings(max_examples=100)
+    def test_coalescing_is_unobservable(self, case):
+        """Barrier elision changes the execution shape only: per-window
+        barriers (coalesce=False) produce the same bytes, with every
+        window paying its exchange."""
+        n_domains, shards, schedule = case
+        coalesced, stats_on = _run(n_domains, shards, schedule)
+        plain, stats_off = _run(n_domains, shards, schedule, coalesce=False)
+        assert plain == coalesced
+        assert stats_off.barriers == stats_off.windows
+        assert stats_off.max_stride == 1
+        if shards > 1:
+            assert stats_on.barriers <= stats_off.barriers
 
     @given(case=world_cases, rotations=st.lists(st.integers(0, 4), max_size=8))
     @settings(max_examples=150)
@@ -171,6 +192,19 @@ class TestConservativeSync:
             assert all(gap <= lookahead for gap in gaps)
         else:
             assert bounds == []
+
+    def test_round_horizon_has_no_zero_length_terminal_window(self):
+        """A horizon that is an exact multiple of the lookahead ends on
+        the last full window's boundary — no duplicated terminal
+        boundary, no zero-length window inflating the count."""
+        bounds = window_boundaries(1_000, 200)
+        assert bounds == [200, 400, 600, 800, 1_000]
+        assert len(bounds) == 1_000 // 200
+        assert len(set(bounds)) == len(bounds)
+        # Ragged horizon: one extra short window, exactly to the end.
+        assert window_boundaries(1_100, 200) == [200, 400, 600, 800,
+                                                 1_000, 1_100]
+        assert window_boundaries(199, 200) == [199]
 
     @given(
         shape=st.integers(1, 64).flatmap(

@@ -53,6 +53,28 @@ class TestSpecs:
             ClusterSpec(name="x", chaos_flaps=-1)
         with pytest.raises(ConfigError, match="hosts per rack"):
             ClusterSpec(name="x", hosts_per_rack=1, vms_per_host=1)
+        with pytest.raises(ConfigError, match="relay_epoch_ns"):
+            ClusterSpec(name="x", relay_epoch_ns=0)
+
+    def test_send_horizon_promises_epoch_boundaries(self):
+        """The elision contract: a quiet world's earliest possible
+        cross-domain send is the next relay epoch boundary, and an
+        armed egress queue pulls the promise back to its departure."""
+        from repro.experiments.cluster import ClusterWorld
+
+        spec = cluster_spec("cluster_smoke")
+        world = ClusterWorld(spec, seed=7)
+        epoch = spec.relay_epoch_ns
+        # Mailbox is wired to the model promise.
+        assert world.mailbox.horizon_fn is not None
+        assert world._send_horizon() == epoch  # quiet at t=0
+        # An armed departure earlier than the idle bound wins.
+        world._egress[epoch] = [(0, 1, "ping", ())]
+        assert world._send_horizon() == epoch
+        world._egress.clear()
+        horizon, covers = world.mailbox.send_horizon()
+        assert horizon >= epoch
+        assert covers is True
 
     def test_fat_tree_shape(self):
         spec = cluster_spec("cluster_fat_tree")

@@ -32,6 +32,15 @@ import time
 #: this factor slower than the (calibration-scaled) baseline.
 DEFAULT_THRESHOLD = 1.25
 
+#: Barrier-efficiency ceilings for sharded workloads: max allowed
+#: ``barriers / windows`` in a repro-bench document (``--barrier-gate``).
+#: Elision should coalesce the overwhelmingly common quiet windows;
+#: a ratio drifting up toward 1.0 means the sharded runtime has
+#: regressed to paying one synchronization per lookahead window.
+BARRIER_CEILINGS = {
+    "cluster_scale_sharded": 0.15,
+}
+
 
 def calibrate(rounds: int = 3) -> float:
     """Best-of-``rounds`` process time of a fixed pure-Python workload.
@@ -70,10 +79,59 @@ def _best_times(bench_json: dict) -> dict:
     return out
 
 
+def check_barrier_efficiency(bench_doc: dict) -> list:
+    """Gate sharded workloads on ``barriers / windows``.
+
+    ``bench_doc`` is a repro-bench document (``BENCH_perf.json``
+    layout).  For every benchmark named in :data:`BARRIER_CEILINGS`
+    whose meta carries ``barriers`` and ``windows``, fail when the
+    ratio exceeds its ceiling.  Returns the list of failure strings.
+    """
+    failures = []
+    for name, ceiling in sorted(BARRIER_CEILINGS.items()):
+        bench = bench_doc.get("benchmarks", {}).get(name)
+        if bench is None:
+            print(f"  {name:22s} not in this document (skipped)")
+            continue
+        meta = bench.get("meta", {})
+        barriers = meta.get("barriers")
+        windows = meta.get("windows")
+        if not barriers or not windows:
+            failures.append(
+                f"{name}: meta lacks barriers/windows counts "
+                "(barrier gate cannot run)"
+            )
+            continue
+        ratio = barriers / windows
+        status = "ok" if ratio <= ceiling else "REGRESSION"
+        print(
+            f"  {name:22s} barriers {barriers} / windows {windows} "
+            f"= {ratio:.3f}  (ceiling {ceiling})  {status}"
+        )
+        if ratio > ceiling:
+            failures.append(
+                f"{name}: barriers/windows {ratio:.3f} exceeds ceiling "
+                f"{ceiling} — barrier elision has regressed"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="pytest-benchmark --benchmark-json output")
-    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="committed baseline JSON (omit with --barrier-gate)",
+    )
+    parser.add_argument(
+        "--barrier-gate",
+        action="store_true",
+        help="treat CURRENT as a repro-bench JSON (BENCH_perf.json "
+        "layout) and gate sharded workloads on barriers/windows "
+        "instead of comparing times",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -88,6 +146,20 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.barrier_gate:
+        doc = json.loads(pathlib.Path(args.current).read_text())
+        print("barrier-efficiency gate:")
+        failures = check_barrier_efficiency(doc)
+        if failures:
+            print("\nBARRIER GATE FAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print("barrier gate passed")
+        return 0
+
+    if args.baseline is None:
+        parser.error("baseline is required unless --barrier-gate is set")
     current = _best_times(json.loads(pathlib.Path(args.current).read_text()))
     cal = calibrate()
 
