@@ -22,11 +22,13 @@ due before the next barrier ``B_k+1 = B_k + lookahead``.
 **Barrier elision.**  A barrier per window is only necessary when every
 window might send.  At each barrier every shard reports a *send
 horizon* — a lower bound on the earliest instant it could next submit a
-cross-domain message (its kernel's next-event time, strengthened by the
-model's own :attr:`Mailbox.horizon_fn` when the world can promise
-more).  With ``H`` the minimum over shards (folded with the earliest
-delivery handed over at this barrier, since a delivery may itself
-trigger a send at its instant), all shards may advance
+cross-domain message: the model's own :attr:`Mailbox.horizon_fn` when
+one is registered (the only bound that also covers sends triggered by
+deliveries ingested at the barrier), else its kernel's next-event
+time.  With ``H`` the minimum over shards (folded, for shards whose
+bound cannot cover deliveries, with the earliest delivery handed over
+at this barrier — a delivery may itself trigger a send at its
+instant), all shards may advance
 ``(H − B) // lookahead + 1`` windows in one stride with no intermediate
 exchange: a message sent at ``t >= H`` is due at ``t + lookahead >=
 B_m`` for every window boundary ``B_m <= H + lookahead``, so it is
@@ -218,20 +220,24 @@ class Mailbox:
     def send_horizon(self) -> Tuple[int, bool]:
         """``(bound, covers_deliveries)`` for this shard's next send.
 
-        Sends happen inside events, so the kernel's next-event time is
-        always a sound bound; a model-registered :attr:`horizon_fn`
-        (itself a sound bound on the next send) can only strengthen it,
-        hence the max of the two.  The flag says whether the bound also
-        covers sends triggered by deliveries not yet ingested (a
-        :attr:`horizon_fn` promise); without it the barrier loop must
-        cap the global horizon at the earliest delivery it routes here.
+        Sends happen inside events, so the kernel's next-event time
+        bounds every send from *already-scheduled* work — but it cannot
+        speak for sends triggered by deliveries ingested at this very
+        barrier (ingest happens after this report), so it travels with
+        ``covers_deliveries=False`` and the barrier loop caps the
+        global horizon at the earliest delivery it routes here.  A
+        model-registered :attr:`horizon_fn` promises a bound on the
+        next send from **any** cause, deliveries included, and is
+        reported alone with ``covers_deliveries=True``.  The two must
+        not be max-folded: on a heap-idle shard ``peek`` can exceed the
+        model's bound, and taking the max while keeping the covers flag
+        would let a delivery-triggered send depart before the reported
+        horizon — exactly the overshoot the flag exists to prevent.
         """
-        peek = self.env.peek()
         fn = self.horizon_fn
         if fn is None:
-            return peek, False
-        bound = fn()
-        return (peek if peek > bound else bound), True
+            return self.env.peek(), False
+        return fn(), True
 
     # -- delivery -----------------------------------------------------------
     def _enqueue(self, msg: Message) -> None:

@@ -79,6 +79,79 @@ class EchoWorld:
         return {"log": self.log, "violations": self.horizon_violations}
 
 
+#: Egress cadence of :class:`EpochEchoWorld` — deliberately coprime-ish
+#: with ``LOOKAHEAD`` so epoch boundaries and barrier instants interleave.
+EPOCH = 250
+
+
+class EpochEchoWorld:
+    """Echo world that funnels every send through an epoch-batched
+    egress stage — the :class:`ClusterWorld` relay shape, and the one
+    model that can honestly register a ``covers_deliveries`` horizon.
+
+    ``schedule`` rows are ``(send_at, src, dst, ttl)``: at ``send_at``
+    domain ``src`` queues a ping to ``dst``; the ping departs at the
+    next ``EPOCH`` boundary with ``LOOKAHEAD`` of latency.  A receiver
+    with ``ttl > 0`` queues an echo the same way, so a delivery into an
+    otherwise heap-idle shard still produces a future send — the case
+    the covered horizon must bound without help from the barrier
+    loop's earliest-delivery cap.
+    """
+
+    def __init__(self, domains, schedule):
+        self.env = Environment()
+        self.mailbox = Mailbox(self.env, LOOKAHEAD)
+        self.mailbox.horizon_fn = self._send_horizon
+        self.log = []
+        self.horizon_violations = 0
+        self._egress = {}
+        for d in domains:
+            self.mailbox.register(d, self._on_msg)
+        for tag, (at, src, dst, ttl) in enumerate(schedule):
+            if src in domains and src != dst:
+                self.env.process(self._sender(at, src, dst, ttl, tag))
+
+    def _sender(self, at, src, dst, ttl, tag):
+        if at:
+            yield self.env.timeout(at)
+        self._queue(src, dst, ttl, tag)
+
+    def _queue(self, src, dst, ttl, tag):
+        boundary = (self.env.now // EPOCH + 1) * EPOCH
+        batch = self._egress.get(boundary)
+        if batch is None:
+            self._egress[boundary] = [(src, dst, ttl, tag)]
+            flush = self.env.timeout(boundary - self.env.now)
+            flush.callbacks.append(lambda _ev, b=boundary: self._flush(b))
+        else:
+            batch.append((src, dst, ttl, tag))
+
+    def _flush(self, boundary):
+        for src, dst, ttl, tag in self._egress.pop(boundary):
+            self.mailbox.send(
+                src, dst, LOOKAHEAD, "ping", (tag, ttl, self.env.now)
+            )
+
+    def _send_horizon(self):
+        nxt = (self.env.now // EPOCH + 1) * EPOCH
+        if self._egress:
+            armed = min(self._egress)
+            if armed < nxt:
+                return armed
+        return nxt
+
+    def _on_msg(self, msg):
+        tag, ttl, sent_at = msg.payload
+        if self.env.now - sent_at < LOOKAHEAD:
+            self.horizon_violations += 1
+        self.log.append((self.env.now, msg.origin, msg.dest, tag, ttl))
+        if ttl > 0:
+            self._queue(msg.dest, msg.origin, ttl - 1, tag)
+
+    def finalize(self):
+        return {"log": self.log, "violations": self.horizon_violations}
+
+
 def _merge(parts):
     log = sorted(entry for part in parts for entry in part["log"])
     return {
@@ -157,6 +230,89 @@ class TestConservativeSync:
         assert stats_off.max_stride == 1
         if shards > 1:
             assert stats_on.barriers <= stats_off.barriers
+
+    @given(
+        case=st.integers(2, 5).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.integers(1, n),
+                st.lists(
+                    st.tuples(
+                        st.integers(0, 600),            # send_at
+                        st.integers(0, n - 1),          # src
+                        st.integers(0, n - 1),          # dst
+                        st.integers(0, 2),              # echo depth
+                    ),
+                    max_size=12,
+                ),
+            )
+        )
+    )
+    @settings(max_examples=150)
+    def test_covered_horizon_equals_serial(self, case):
+        """A model-promised (covers-deliveries) horizon never lets the
+        stride outrun a send triggered by a delivery ingested at the
+        barrier: epoch-batched sharded == serial, coalescing on or off."""
+        n_domains, shards, schedule = case
+
+        def build(doms):
+            return EpochEchoWorld(
+                range(n_domains) if doms is None else doms, schedule
+            )
+
+        kwargs = dict(
+            n_domains=n_domains,
+            shards=shards,
+            until_ns=UNTIL,
+            lookahead_ns=LOOKAHEAD,
+            merge=_merge,
+        )
+        serial, _ = run_sharded(build, backend="serial", shards=1, **{
+            k: v for k, v in kwargs.items() if k != "shards"
+        })
+        assert serial["violations"] == 0
+        coalesced, stats = run_sharded(build, backend="inline", **kwargs)
+        assert coalesced == serial
+        plain, _ = run_sharded(
+            build, backend="inline", coalesce=False, **kwargs
+        )
+        assert plain == serial
+        if shards > 1:
+            assert 1 <= stats.barriers <= stats.windows
+
+    def test_heap_idle_shard_with_covered_horizon_pinned(self):
+        """Regression: a heap-idle shard (peek = infinity) whose only
+        activity is a send-triggering delivery ingested at a barrier.
+        ``send_horizon`` used to report ``max(peek, horizon_fn())``
+        with ``covers_deliveries=True``; the inflated bound skipped the
+        earliest-delivery cap, the stride overshot, and the echo (due
+        at 600) was exchanged after the peer's clock had advanced to
+        750 — a ShardSyncError, or silent divergence from serial."""
+        schedule = [
+            (0, 0, 1, 1),    # ping; echo due back at t=600 via epoch 500
+            (700, 0, 1, 0),  # advances domain 0's clock past the echo
+        ]
+
+        def build(doms):
+            return EpochEchoWorld(
+                range(2) if doms is None else doms, schedule
+            )
+
+        kwargs = dict(
+            n_domains=2,
+            until_ns=UNTIL,
+            lookahead_ns=LOOKAHEAD,
+            merge=_merge,
+        )
+        serial, _ = run_sharded(build, backend="serial", shards=1, **kwargs)
+        assert [entry[0] for entry in serial["log"]] == [350, 600, 850]
+        for backend in ("inline", "fork"):
+            for coalesce in (True, False):
+                sharded, _ = run_sharded(
+                    build, backend=backend, shards=2, coalesce=coalesce,
+                    **kwargs,
+                )
+                assert sharded == serial, (backend, coalesce)
 
     @given(case=world_cases, rotations=st.lists(st.integers(0, 4), max_size=8))
     @settings(max_examples=150)

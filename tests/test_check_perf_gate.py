@@ -1,0 +1,47 @@
+"""Tests for the barrier-efficiency gate in ``tools/check_perf.py``.
+
+The tool lives outside the package (it must run without ``PYTHONPATH``
+in CI), so it is loaded by file path here.
+"""
+
+import importlib.util
+import pathlib
+
+_TOOL = pathlib.Path(__file__).resolve().parents[1] / "tools" / "check_perf.py"
+_spec = importlib.util.spec_from_file_location("check_perf", _TOOL)
+check_perf = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_perf)
+
+
+def _doc(meta: dict) -> dict:
+    return {"benchmarks": {"cluster_scale_sharded": {"meta": meta}}}
+
+
+class TestBarrierEfficiencyGate:
+    def test_ratio_within_ceiling_passes(self):
+        doc = _doc({"barriers": 51, "windows": 500})
+        assert check_perf.check_barrier_efficiency(doc) == []
+
+    def test_ratio_over_ceiling_fails(self):
+        doc = _doc({"barriers": 400, "windows": 500})
+        failures = check_perf.check_barrier_efficiency(doc)
+        assert len(failures) == 1
+        assert "exceeds ceiling" in failures[0]
+
+    def test_missing_counts_fail_loudly(self):
+        failures = check_perf.check_barrier_efficiency(_doc({}))
+        assert len(failures) == 1
+        assert "lacks barriers/windows" in failures[0]
+
+    def test_zero_barriers_is_a_count_not_missing_metadata(self):
+        """A legitimate integer 0 must not be misread as absent meta
+        (`not barriers` was the old, falsy-confused test)."""
+        doc = _doc({"barriers": 0, "windows": 500})
+        assert check_perf.check_barrier_efficiency(doc) == []
+
+    def test_zero_windows_skips_instead_of_dividing(self):
+        doc = _doc({"barriers": 0, "windows": 0})
+        assert check_perf.check_barrier_efficiency(doc) == []
+
+    def test_absent_benchmark_is_skipped(self):
+        assert check_perf.check_barrier_efficiency({"benchmarks": {}}) == []

@@ -96,11 +96,14 @@ def check_barrier_efficiency(bench_doc: dict) -> list:
         meta = bench.get("meta", {})
         barriers = meta.get("barriers")
         windows = meta.get("windows")
-        if not barriers or not windows:
+        if barriers is None or windows is None:
             failures.append(
                 f"{name}: meta lacks barriers/windows counts "
                 "(barrier gate cannot run)"
             )
+            continue
+        if windows == 0:
+            print(f"  {name:22s} zero-length run (no windows; skipped)")
             continue
         ratio = barriers / windows
         status = "ok" if ratio <= ceiling else "REGRESSION"
