@@ -370,6 +370,93 @@ def cluster_scale_sharded(
     return meta
 
 
+def checkpoint_overhead(
+    sim_s: float = 0.1, shards: int = 4, rounds: int = 5
+) -> Dict[str, Any]:
+    """Checkpointing cost A/B on the sharded 256-host cluster.
+
+    Runs ``cluster_scale`` across ``shards`` forked workers twice per
+    round — once bare, once journaling barrier checkpoints to disk at
+    the default cadence (:class:`repro.sim.checkpoint.CheckpointConfig`)
+    — arms interleaved with alternating order, best-of-``rounds`` per
+    arm.  ``meta.overhead`` is ``checkpointed wall / bare wall - 1``
+    (the number the perf gate bounds below 5%); ``identical`` asserts
+    the journaled run's metrics stayed bit-identical; the checkpoint
+    count and on-disk bytes quantify what the cadence actually wrote.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.experiments.cluster import run_cluster
+    from repro.sim.checkpoint import list_checkpoints
+
+    tmp = tempfile.mkdtemp(prefix="repro-ckpt-bench-")
+
+    def bare_arm():
+        return run_cluster(
+            "cluster_scale", seed=7, sim_s=sim_s, shards=shards,
+            backend="fork",
+        )
+
+    def checkpointed_arm():
+        ckpt = os.path.join(tmp, "ckpt")
+        shutil.rmtree(ckpt, ignore_errors=True)
+        return run_cluster(
+            "cluster_scale", seed=7, sim_s=sim_s, shards=shards,
+            backend="fork", checkpoint_dir=ckpt,
+        ), ckpt
+
+    # Warm both arms so neither measured round pays first-run costs.
+    warm = min(sim_s / 5.0, 0.02)
+    run_cluster(
+        "cluster_scale", seed=7, sim_s=warm, shards=shards, backend="fork"
+    )
+    run_cluster(
+        "cluster_scale", seed=7, sim_s=warm, shards=shards, backend="fork",
+        checkpoint_dir=os.path.join(tmp, "warm"),
+    )
+
+    bare_walls: List[float] = []
+    ckpt_walls: List[float] = []
+    bare_metrics: Dict[str, Any] = {}
+    ckpt_metrics: Dict[str, Any] = {}
+    files = 0
+    bytes_on_disk = 0
+    try:
+        for r in range(max(1, rounds)):
+            arms = ["bare", "ckpt"] if r % 2 == 0 else ["ckpt", "bare"]
+            for name in arms:
+                wall0 = time.perf_counter()
+                if name == "bare":
+                    result = bare_arm()
+                    bare_walls.append(time.perf_counter() - wall0)
+                    bare_metrics = result.metrics()
+                else:
+                    result, ckpt_dir = checkpointed_arm()
+                    ckpt_walls.append(time.perf_counter() - wall0)
+                    ckpt_metrics = result.metrics()
+                    paths = list_checkpoints(ckpt_dir)
+                    files = len(paths)
+                    bytes_on_disk = sum(p.stat().st_size for p in paths)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    bare_wall = min(bare_walls)
+    ckpt_wall = min(ckpt_walls)
+    return {
+        "sim_s": sim_s,
+        "shards": shards,
+        "rounds": max(1, rounds),
+        "bare_wall_s": round(bare_wall, 4),
+        "checkpointed_wall_s": round(ckpt_wall, 4),
+        "overhead": round(ckpt_wall / bare_wall - 1.0, 4),
+        "checkpoint_files": files,
+        "checkpoint_bytes": bytes_on_disk,
+        "identical": bare_metrics == ckpt_metrics,
+    }
+
+
 def service_throughput(requests: int = 2000) -> Dict[str, Any]:
     """The ResEx service gateway under seeded open-loop load.
 
@@ -448,6 +535,10 @@ WORKLOADS: Dict[str, Tuple[Callable[[], Dict[str, Any]], str]] = {
     "cluster_scale_sharded": (
         cluster_scale_sharded,
         "cluster_scale serial vs 4-shard fork A/B (must be bit-identical)",
+    ),
+    "checkpoint_overhead": (
+        checkpoint_overhead,
+        "4-shard cluster_scale with vs without barrier checkpointing",
     ),
     "service_throughput": (
         service_throughput,

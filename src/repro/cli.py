@@ -201,11 +201,28 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             )
         return 0
 
+    worker_faults = []
+    kill = None
+    if args.kill_worker:
+        from repro.faults import parse_worker_kill
+
+        kill = parse_worker_kill(args.kill_worker)
+        worker_faults.append(kill)
+
     with _invariant_scope(args.invariants) as monitor:
         result = run_cluster(
             args.preset, seed=args.seed, sim_s=args.sim_s,
             shards=args.shards, backend=args.shard_backend,
             coalesce=not args.no_coalesce,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            restore=args.restore,
+            worker_faults=worker_faults,
+        )
+    if kill is not None and kill.fired is None:
+        get_logger().warning(
+            f"--kill-worker {args.kill_worker} never fired (the run had "
+            "fewer barriers than its trigger)"
         )
     tainted = monitor is not None and monitor.tainted
     if tainted:
@@ -295,14 +312,26 @@ def _build_service_gateway(args: argparse.Namespace):
     from repro.service import (
         LiveBackend,
         Orchestrator,
+        ResExWorld,
         ServiceConfig,
         ServiceGateway,
         SimBackend,
+        load_world_snapshot,
     )
 
+    world = None
+    if getattr(args, "restore", None):
+        # A restored world carries its own (seed, config); the CLI's
+        # --slots/--policy/--seed are ignored in favor of the snapshot.
+        snap = load_world_snapshot(args.restore)
+        world = ResExWorld.restore(snap)
+        get_logger().info(
+            f"restored world from {args.restore} "
+            f"(t={world.now_ns} ns, {len(world.bindings)} tenant(s) bound)"
+        )
     config = ServiceConfig(slots=args.slots, policy=args.policy)
     backend_cls = SimBackend if args.mode == "sim" else LiveBackend
-    backend = backend_cls(config, seed=args.seed)
+    backend = backend_cls(config, seed=args.seed, world=world)
     return ServiceGateway(
         Orchestrator(backend),
         host=args.host,
@@ -316,6 +345,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the ResEx service gateway until SIGTERM/SIGINT."""
     import asyncio
     import signal
+
+    from repro.service import save_world_snapshot
 
     gateway = _build_service_gateway(args)
 
@@ -332,6 +363,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             await stop.wait()
         finally:
             get_logger().info("shutting down service gateway")
+            if args.checkpoint:
+                # Graceful degradation: refuse new dials, answer what
+                # is already queued, then snapshot the served world.
+                await gateway.drain()
+                snap = gateway.orchestrator.backend.world.snapshot()
+                digest = save_world_snapshot(args.checkpoint, snap)
+                get_logger().info(
+                    f"world checkpoint written to {args.checkpoint} "
+                    f"(digest {digest[:12]}..., "
+                    f"{snap['in_flight_lost']} in-flight order(s) dropped)"
+                )
             await gateway.stop()
 
     asyncio.run(_serve())
@@ -996,6 +1038,25 @@ def build_parser() -> argparse.ArgumentParser:
         "on the first one (default off)",
     )
     cluster.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="journal barrier-aligned ckpt/1 checkpoints to DIR and arm "
+        "in-run worker recovery (needs --shards >= 2)",
+    )
+    cluster.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="barriers between checkpoint writes (default 8)",
+    )
+    cluster.add_argument(
+        "--restore", action="store_true",
+        help="resume from the newest usable checkpoint in "
+        "--checkpoint-dir (an empty directory starts fresh)",
+    )
+    cluster.add_argument(
+        "--kill-worker", metavar="SHARD@BARRIER", default=None,
+        help="crash-recovery testing: SIGKILL shard SHARD's worker when "
+        "the run reaches barrier BARRIER (fork backend)",
+    )
+    cluster.add_argument(
         "--json", action="store_true",
         help="emit metrics as JSON (includes the 'tainted' flag and the "
         "canonical metrics digest)",
@@ -1071,6 +1132,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="per-client request queue depth before overload rejection",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="on SIGTERM/SIGINT, drain the gateway and write a "
+        "digest-stamped snapshot of the served world to PATH",
+    )
+    serve.add_argument(
+        "--restore",
+        metavar="PATH",
+        help="start from a world snapshot written by --checkpoint "
+        "(overrides --slots/--policy/--seed with the snapshot's own)",
     )
     serve.set_defaults(func=_cmd_serve)
 

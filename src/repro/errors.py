@@ -36,6 +36,22 @@ class StopSimulation(Exception):
         self.value = value
 
 
+class CheckpointError(SimulationError):
+    """A barrier checkpoint file is corrupt, truncated or mismatched.
+
+    Raised by :mod:`repro.sim.checkpoint` when a ``ckpt/1`` file fails
+    its magic, length or digest validation, or when a restore is
+    attempted against a checkpoint recorded for a different world
+    (mismatched ``world_key`` or shard geometry).  The loader treats a
+    damaged *newest* file as recoverable — it falls back to the
+    next-older checkpoint — so this escapes only when no usable
+    checkpoint remains or when the mismatch is semantic.
+    """
+
+    code = "checkpoint"
+    exit_code = 5
+
+
 class ShardSyncError(SimulationError):
     """Conservative time-synchronization contract violation.
 
@@ -229,6 +245,19 @@ class ServiceError(ReproError):
     exit_code = 6
 
 
+class ServiceUnavailable(ServiceError):
+    """No server is listening (connect retry budget exhausted).
+
+    Raised client-side by :meth:`repro.service.client.ServiceClient.connect`
+    (and therefore ``repro loadgen``) once every connection attempt has
+    been refused, so an absent server surfaces as a structured
+    ``repro: error [service-unavailable]`` with the service exit status
+    instead of a raw ``ConnectionRefusedError`` traceback.
+    """
+
+    code = "service-unavailable"
+
+
 class ProtocolError(ServiceError):
     """A malformed, truncated or out-of-contract wire frame.
 
@@ -293,6 +322,7 @@ SERVICE_ERROR_CODES = {
     cls.code: cls
     for cls in (
         ServiceError,
+        ServiceUnavailable,
         ProtocolError,
         HandshakeError,
         FrameTooLarge,
@@ -330,8 +360,10 @@ __all__ = [
     "CellTimeout",
     "InvariantViolation",
     "CacheCorruption",
+    "CheckpointError",
     "Uncacheable",
     "ServiceError",
+    "ServiceUnavailable",
     "ProtocolError",
     "HandshakeError",
     "FrameTooLarge",

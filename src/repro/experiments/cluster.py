@@ -82,6 +82,7 @@ from repro.resex import (
     RackFollower,
     ResExController,
 )
+from repro.sim.checkpoint import CheckpointConfig, RecoveryPolicy
 from repro.sim.core import Environment
 from repro.sim.rng import RngRegistry
 from repro.sim.shard import Mailbox, Message, ShardStats, run_sharded
@@ -965,6 +966,19 @@ def build_cluster(spec: "ClusterSpec | str", seed: int = 7) -> ClusterSetup:
     )
 
 
+def cluster_world_key(spec: ClusterSpec, seed: int, until_ns: int) -> str:
+    """Stable identity of one cluster run, for checkpoint matching.
+
+    A checkpoint journal only replays into the exact world that wrote
+    it, so the key digests everything the build closure depends on:
+    the full spec, the seed and the horizon.
+    """
+    import hashlib as _hashlib
+
+    raw = f"{spec!r}|seed={seed}|until_ns={until_ns}"
+    return "cluster/" + _hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
 def run_cluster(
     spec: "ClusterSpec | str",
     seed: int = 7,
@@ -972,6 +986,11 @@ def run_cluster(
     shards: int = 1,
     backend: str = "auto",
     coalesce: bool = True,
+    checkpoint_dir: "Optional[str]" = None,
+    checkpoint_every: Optional[int] = None,
+    restore: bool = False,
+    recovery: "Optional[RecoveryPolicy]" = None,
+    worker_faults: Sequence[Any] = (),
 ) -> ClusterResult:
     """Build and run one cluster scenario (the one-call API).
 
@@ -983,11 +1002,31 @@ def run_cluster(
     ``coalesce=False`` disables barrier elision (one exchange per
     lookahead window — the escape hatch CI compares against; execution
     shape only, never bytes).
+
+    ``checkpoint_dir`` enables barrier-aligned checkpointing
+    (:mod:`repro.sim.checkpoint`) at a cadence of ``checkpoint_every``
+    barriers, and — unless a :class:`~repro.sim.checkpoint
+    .RecoveryPolicy` is supplied explicitly — also arms in-run worker
+    recovery with the default respawn budget.  ``restore=True`` resumes
+    from the newest usable checkpoint in that directory (empty
+    directory: fresh start).  ``worker_faults`` injects host-level
+    faults (:class:`repro.faults.WorkerKill`) for crash-recovery tests.
     """
     if isinstance(spec, str):
         spec = cluster_spec(spec)
     until_ns = int((sim_s if sim_s is not None else spec.sim_s) * SEC)
     plan = spec.domain_plan()
+
+    checkpoint = None
+    world_key = ""
+    if checkpoint_dir is not None:
+        kwargs: Dict[str, Any] = {"dir": checkpoint_dir}
+        if checkpoint_every is not None:
+            kwargs["every"] = int(checkpoint_every)
+        checkpoint = CheckpointConfig(**kwargs)
+        world_key = cluster_world_key(spec, seed, until_ns)
+        if recovery is None:
+            recovery = RecoveryPolicy(backoff_seed=seed)
 
     def build(domains: Optional[Tuple[int, ...]]) -> ClusterWorld:
         world = ClusterWorld(spec, seed, domains)
@@ -1003,6 +1042,11 @@ def run_cluster(
         merge=lambda parts: _merge_parts(parts, spec, seed, until_ns),
         backend=backend,
         coalesce=coalesce,
+        checkpoint=checkpoint,
+        recovery=recovery,
+        restore=restore,
+        world_key=world_key,
+        worker_faults=worker_faults,
     )
     merged.shard_stats = stats
     return merged

@@ -48,6 +48,7 @@ from repro.faults.metrics import (
     fault_impacts,
 )
 from repro.faults.presets import campaign_presets, preset_campaign
+from repro.faults.workers import WorkerKill, parse_worker_kill
 
 __all__ = [
     "CompletionDelay",
@@ -66,8 +67,10 @@ __all__ = [
     "RenewalSpec",
     "ResilienceReport",
     "VCPUFreeze",
+    "WorkerKill",
     "campaign_presets",
     "degradation_table",
     "fault_impacts",
+    "parse_worker_kill",
     "preset_campaign",
 ]

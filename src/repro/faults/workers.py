@@ -1,0 +1,86 @@
+"""Host-level fault injection for the sharded runtime.
+
+The injectors in :mod:`repro.faults.injectors` break *simulated*
+components at simulated instants; the faults here break the **host
+processes running the simulation** — the failure mode
+:mod:`repro.sim.checkpoint`'s in-run recovery exists for.  They plug
+into :func:`repro.sim.shard.run_sharded`'s ``worker_faults`` hook,
+which the fork backend calls as ``fault(barriers_done, procs)`` at the
+top of every barrier, and are deterministic in barrier time: the same
+run with the same fault list dies (and recovers) at the same exchange
+every time.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Any, Sequence
+
+from repro.errors import FaultError
+
+__all__ = ["WorkerKill", "parse_worker_kill"]
+
+
+class WorkerKill:
+    """SIGKILL one shard worker when the run reaches a given barrier.
+
+    A process-level fault — the worker gets no chance to flush, send an
+    envelope or close its pipe, exactly like an OOM kill or a cgroup
+    limit on a shared machine.  Fires at most once; :attr:`fired`
+    records the barrier it actually hit so differential tests can
+    assert the kill landed mid-run, not after the finish line.
+    """
+
+    kind = "worker-kill"
+
+    def __init__(
+        self, shard: int, at_barrier: int, sig: int = signal.SIGKILL
+    ) -> None:
+        if shard < 0:
+            raise FaultError(f"shard must be >= 0, got {shard}")
+        if at_barrier < 0:
+            raise FaultError(f"at_barrier must be >= 0, got {at_barrier}")
+        self.shard = int(shard)
+        self.at_barrier = int(at_barrier)
+        self.sig = int(sig)
+        #: Barrier index the kill fired at, or ``None`` if it never did.
+        self.fired: Any = None
+
+    def __call__(self, barriers_done: int, procs: Sequence[Any]) -> None:
+        if self.fired is not None or barriers_done < self.at_barrier:
+            return
+        if self.shard >= len(procs):
+            raise FaultError(
+                f"worker-kill targets shard {self.shard}, run has "
+                f"{len(procs)} shard(s)"
+            )
+        proc = procs[self.shard]
+        if proc is not None and proc.pid is not None and proc.is_alive():
+            os.kill(proc.pid, self.sig)
+            # The kill is asynchronous; wait for the process to actually
+            # die so the fault is deterministic in barrier time (the
+            # very next exchange sees the closed pipe, not some later
+            # one depending on scheduler luck).
+            proc.join(timeout=10)
+        self.fired = int(barriers_done)
+
+    def __repr__(self) -> str:
+        return (
+            f"<WorkerKill shard={self.shard} at_barrier={self.at_barrier} "
+            f"fired={self.fired}>"
+        )
+
+
+def parse_worker_kill(spec: str) -> WorkerKill:
+    """Build a :class:`WorkerKill` from a ``SHARD@BARRIER`` string.
+
+    The shape behind ``repro cluster --kill-worker`` (testing/CI flag).
+    """
+    try:
+        shard_s, _, barrier_s = spec.partition("@")
+        return WorkerKill(int(shard_s), int(barrier_s))
+    except ValueError:
+        raise FaultError(
+            f"--kill-worker wants SHARD@BARRIER (e.g. 1@3), got {spec!r}"
+        ) from None

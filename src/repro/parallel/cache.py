@@ -57,8 +57,13 @@ CELL_SCHEMA = "repro-cell/1"
 #: (:mod:`repro.sim.shard`), so a warm entry written by a serial run
 #: must hit for a sharded one and vice versa; ``coalesce`` only picks
 #: how many lookahead windows ride one barrier (execution shape, same
-#: bytes), so it is equally address-neutral.
-EXECUTION_ONLY_KEYS = frozenset({"shards", "coalesce"})
+#: bytes), so it is equally address-neutral.  The checkpoint knobs
+#: (:mod:`repro.sim.checkpoint`) are likewise execution-only: a cell
+#: restored from a barrier checkpoint replays to byte-identical
+#: metrics, so where (or whether) it journals cannot move its address.
+EXECUTION_ONLY_KEYS = frozenset(
+    {"shards", "coalesce", "checkpoint_dir", "checkpoint_every", "restore"}
+)
 
 __all__ = [
     "CELL_SCHEMA",

@@ -296,14 +296,24 @@ def _run_cluster_cell(job: SweepJob) -> Dict[str, float]:
     and vice versa — which is also why ``shards`` is excluded from the
     cell's content address (see
     :data:`repro.parallel.cache.EXECUTION_ONLY_KEYS`).
+
+    ``checkpoint_dir``/``checkpoint_every``/``restore`` thread the
+    barrier-aligned checkpointing of :mod:`repro.sim.checkpoint`
+    through to the sharded runtime — also execution-only (a restored
+    cell replays to the same bytes), so the supervisor can inject them
+    without disturbing content addresses.
     """
     from repro.experiments.cluster import run_cluster
 
+    checkpoint_dir = job.spec.get("checkpoint_dir")
     return run_cluster(
         job.name,
         seed=job.seed,
         sim_s=job.spec.get("sim_s"),
         shards=int(job.spec.get("shards", 1)),
+        checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+        checkpoint_every=job.spec.get("checkpoint_every"),
+        restore=bool(job.spec.get("restore", False)),
     ).metrics()
 
 

@@ -28,7 +28,13 @@ from repro.service.loadgen import (
 from repro.service.orchestrator import OP_SCHEMAS, Orchestrator, validate_params
 from repro.service.protocol import PROTOCOL
 from repro.service.replay import SERVICE_SPECS, ReplayResult, run_service_replay
-from repro.service.world import ResExWorld, ServiceConfig
+from repro.service.world import (
+    WORLD_SCHEMA,
+    ResExWorld,
+    ServiceConfig,
+    load_world_snapshot,
+    save_world_snapshot,
+)
 
 __all__ = [
     "PROTOCOL",
@@ -53,4 +59,7 @@ __all__ = [
     "run_loadgen",
     "ReplayResult",
     "run_service_replay",
+    "WORLD_SCHEMA",
+    "load_world_snapshot",
+    "save_world_snapshot",
 ]

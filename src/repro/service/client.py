@@ -14,14 +14,29 @@ same in-process and over the wire.
 Convenience wrappers (:meth:`admit`, :meth:`order`, :meth:`flush`, ...)
 cover the full operation surface; the load generator drives the raw
 :meth:`request` path.
+
+Connecting with a ``token`` opts a client into *at-most-once re-send*:
+every request frame carries an idempotency key (``token:req_id``), the
+gateway keeps a bounded dedup window keyed on it, and on connection
+loss the client's unanswered in-flight futures stay pending instead of
+failing — :meth:`ServiceClient.reconnect` re-dials, re-handshakes and
+re-sends those exact frames.  A request the server already executed is
+answered from the dedup cache (same data, same serialization ``seq``),
+so a crash between execute and respond cannot double-execute a
+mutating operation.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import ProtocolError, ServiceError, service_error_from_code
+from repro.errors import (
+    ProtocolError,
+    ServiceError,
+    ServiceUnavailable,
+    service_error_from_code,
+)
 from repro.service import protocol
 
 
@@ -34,15 +49,30 @@ class ServiceClient:
         writer: asyncio.StreamWriter,
         welcome: Dict[str, Any],
         max_frame: int = protocol.DEFAULT_MAX_FRAME,
+        *,
+        host: str = "",
+        port: int = 0,
+        client: str = "repro-client",
+        timeout_s: float = 5.0,
+        token: Optional[str] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._max_frame = max_frame
+        self._host = host
+        self._port = port
+        self._client_name = client
+        self._timeout_s = timeout_s
+        #: Idempotency token; when set every request carries an
+        #: ``ikey`` and unanswered requests survive a reconnect.
+        self.token = token
         self.session = int(welcome["session"])
         #: Backend mode the server reported at handshake: sim or live.
         self.mode = str(welcome["mode"])
         self._next_id = 0
-        self._inflight: Dict[int, asyncio.Future] = {}
+        #: req id -> (future, the exact frame sent) — the frame is kept
+        #: so :meth:`reconnect` can re-send it byte-identically.
+        self._inflight: Dict[int, Tuple[asyncio.Future, Dict[str, Any]]] = {}
         self._closed = False
         self._reader_task = asyncio.create_task(
             self._read_loop(), name=f"service-client-{self.session}"
@@ -60,27 +90,64 @@ class ServiceClient:
         timeout_s: float = 5.0,
         retries: int = 0,
         retry_delay_s: float = 0.2,
+        token: Optional[str] = None,
     ) -> "ServiceClient":
         """Dial, handshake and return a ready client.
 
         ``retries`` covers the race of dialing a server that is still
-        binding its socket (the CI smoke test's startup path).
+        binding its socket (the CI smoke test's startup path).  A
+        server that never answers raises
+        :class:`~repro.errors.ServiceUnavailable` (stable
+        ``service-unavailable`` code) once the budget is spent.
+        ``token`` opts into idempotent re-send (see module docstring).
         """
+        reader, writer = await cls._dial(
+            host, port, timeout_s=timeout_s, retries=retries,
+            retry_delay_s=retry_delay_s,
+        )
+        welcome = await cls._handshake(
+            reader, writer, client=client, max_frame=max_frame,
+            timeout_s=timeout_s,
+        )
+        return cls(
+            reader, writer, welcome, max_frame,
+            host=host, port=port, client=client, timeout_s=timeout_s,
+            token=token,
+        )
+
+    @staticmethod
+    async def _dial(
+        host: str,
+        port: int,
+        *,
+        timeout_s: float,
+        retries: int = 0,
+        retry_delay_s: float = 0.2,
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
         last: Optional[Exception] = None
         for attempt in range(int(retries) + 1):
             try:
-                reader, writer = await asyncio.wait_for(
+                return await asyncio.wait_for(
                     asyncio.open_connection(host, port), timeout_s
                 )
-                break
             except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
                 last = exc
                 if attempt < retries:
                     await asyncio.sleep(retry_delay_s)
-        else:
-            raise ProtocolError(
-                f"could not connect to {host}:{port}: {last}"
-            ) from last
+        raise ServiceUnavailable(
+            f"could not connect to {host}:{port} "
+            f"after {int(retries) + 1} attempt(s): {last}"
+        ) from last
+
+    @staticmethod
+    async def _handshake(
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        client: str,
+        max_frame: int,
+        timeout_s: float,
+    ) -> Dict[str, Any]:
         writer.write(
             protocol.encode_frame(protocol.hello_frame(client), max_frame)
         )
@@ -91,7 +158,58 @@ class ServiceClient:
         if welcome is None:
             raise ProtocolError("server closed the connection during handshake")
         protocol.check_welcome(welcome)
-        return cls(reader, writer, welcome, max_frame)
+        return welcome
+
+    async def reconnect(self, *, retries: int = 3, retry_delay_s: float = 0.2) -> None:
+        """Re-dial, re-handshake and re-send unanswered requests.
+
+        Only meaningful for a client connected with a ``token``: each
+        unresolved in-flight frame is re-sent exactly as first written
+        (same id, same ikey), so the gateway either executes it for the
+        first time or replays its cached response — at-most-once either
+        way.  Raises :class:`~repro.errors.ServiceUnavailable` when the
+        server still is not answering.
+        """
+        if self._closed:
+            raise ProtocolError("client is closed")
+        if self.token is None:
+            raise ProtocolError(
+                "reconnect() requires a client token (idempotency keys); "
+                "without one a re-send could double-execute"
+            )
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        reader, writer = await self._dial(
+            self._host, self._port, timeout_s=self._timeout_s,
+            retries=retries, retry_delay_s=retry_delay_s,
+        )
+        welcome = await self._handshake(
+            reader, writer, client=self._client_name,
+            max_frame=self._max_frame, timeout_s=self._timeout_s,
+        )
+        self._reader = reader
+        self._writer = writer
+        self.session = int(welcome["session"])
+        self.mode = str(welcome["mode"])
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name=f"service-client-{self.session}"
+        )
+        for req_id in sorted(self._inflight):
+            future, frame = self._inflight[req_id]
+            if future.done():
+                continue
+            self._writer.write(
+                protocol.encode_frame(frame, self._max_frame)
+            )
+        await self._writer.drain()
 
     async def close(self) -> None:
         """Close the connection; in-flight requests fail with
@@ -119,29 +237,38 @@ class ServiceClient:
 
     # -- plumbing ------------------------------------------------------------
     def _fail_inflight(self, exc: Exception) -> None:
-        for future in self._inflight.values():
+        for future, _frame in self._inflight.values():
             if not future.done():
                 future.set_exception(exc)
         self._inflight.clear()
+
+    def _connection_lost(self, exc: Exception) -> None:
+        """The transport died mid-conversation.
+
+        A tokenized client leaves its in-flight futures *pending* —
+        the caller reconnects and the re-sent frames (carrying their
+        original idempotency keys) resolve them.  Without a token a
+        re-send could double-execute, so everything fails fast.
+        """
+        if self.token is None or self._closed:
+            self._fail_inflight(exc)
 
     async def _read_loop(self) -> None:
         try:
             while True:
                 frame = await protocol.read_frame(self._reader, self._max_frame)
                 if frame is None:
-                    self._fail_inflight(
+                    self._connection_lost(
                         ProtocolError("server closed the connection")
                     )
                     return
                 self._dispatch(frame)
         except asyncio.CancelledError:
             raise
-        except (ServiceError, ConnectionError, OSError) as exc:
-            self._fail_inflight(
-                exc
-                if isinstance(exc, ServiceError)
-                else ProtocolError(f"connection lost: {exc}")
-            )
+        except ServiceError as exc:
+            self._fail_inflight(exc)
+        except (ConnectionError, OSError) as exc:
+            self._connection_lost(ProtocolError(f"connection lost: {exc}"))
 
     def _dispatch(self, frame: Dict[str, Any]) -> None:
         req_id = frame.get("id")
@@ -154,13 +281,13 @@ class ServiceClient:
                 # every in-flight request is dead.
                 self._fail_inflight(exc)
                 return
-            future = self._inflight.pop(req_id, None)
-            if future is not None and not future.done():
-                future.set_exception(exc)
+            entry = self._inflight.pop(req_id, None)
+            if entry is not None and not entry[0].done():
+                entry[0].set_exception(exc)
             return
-        future = self._inflight.pop(req_id, None) if req_id is not None else None
-        if future is not None and not future.done():
-            future.set_result(frame.get("data", {}))
+        entry = self._inflight.pop(req_id, None) if req_id is not None else None
+        if entry is not None and not entry[0].done():
+            entry[0].set_result(frame.get("data", {}))
 
     # -- requests ------------------------------------------------------------
     async def request(
@@ -176,17 +303,16 @@ class ServiceClient:
         """
         if self._closed:
             raise ProtocolError("client is closed")
-        self._next_id += 1
-        req_id = self._next_id
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._inflight[req_id] = future
-        frame = protocol.request_frame(req_id, op, params, at_ns)
+        req_id, future, frame = self._register(op, params, at_ns)
         try:
             self._writer.write(protocol.encode_frame(frame, self._max_frame))
             await self._writer.drain()
         except (ConnectionError, OSError) as exc:
-            self._inflight.pop(req_id, None)
-            raise ProtocolError(f"connection lost: {exc}") from exc
+            if self.token is None:
+                self._inflight.pop(req_id, None)
+                raise ProtocolError(f"connection lost: {exc}") from exc
+            # Tokenized: the frame stays registered; reconnect()
+            # re-sends it and this very future resolves.
         return await future
 
     def send_nowait(
@@ -202,13 +328,25 @@ class ServiceClient:
         """
         if self._closed:
             raise ProtocolError("client is closed")
+        _req_id, future, frame = self._register(op, params, at_ns)
+        self._writer.write(protocol.encode_frame(frame, self._max_frame))
+        return future
+
+    def _register(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]],
+        at_ns: Optional[int],
+    ) -> Tuple[int, "asyncio.Future", Dict[str, Any]]:
+        """Allocate an id, build the frame (with its idempotency key
+        when a token is set) and park the future in the in-flight map."""
         self._next_id += 1
         req_id = self._next_id
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._inflight[req_id] = future
-        frame = protocol.request_frame(req_id, op, params, at_ns)
-        self._writer.write(protocol.encode_frame(frame, self._max_frame))
-        return future
+        ikey = f"{self.token}:{req_id}" if self.token is not None else None
+        frame = protocol.request_frame(req_id, op, params, at_ns, ikey=ikey)
+        self._inflight[req_id] = (future, frame)
+        return req_id, future, frame
 
     # -- operation surface ---------------------------------------------------
     async def admit(self, vm: str, at_ns: Optional[int] = None) -> Dict[str, Any]:

@@ -125,6 +125,25 @@ class ServiceGateway:
         self._sessions.clear()
         await self.orchestrator.stop()
 
+    async def drain(self, timeout_s: float = 10.0) -> None:
+        """Graceful degradation: stop accepting, finish what's queued.
+
+        Closes the listening socket (new dials are refused), then
+        waits — bounded by ``timeout_s`` — for every session's queue
+        to empty so already-accepted requests get their responses.
+        Existing connections stay open; callers follow up with
+        :meth:`stop` (typically after checkpointing the served world).
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.perf_counter() + float(timeout_s)
+        while time.perf_counter() < deadline:
+            if all(s.queue.empty() for s in self._sessions.values()):
+                return
+            await asyncio.sleep(0.01)
+
     async def serve_forever(self) -> None:
         assert self._server is not None, "start() was never awaited"
         await self._server.serve_forever()

@@ -18,13 +18,25 @@ direct mode) and exactly one backend.  It owns three responsibilities:
    record per routed request, stamped with wall-clock nanoseconds
    since orchestrator start (the service runs in real time even over a
    virtual-clock backend).
+4. **Idempotent replay** — requests carrying an ``ikey`` are deduped
+   against a bounded window of recently answered keys.  A duplicate
+   (a client re-send after a reconnect) is answered from the cache
+   with the *original* response — same data, same ``seq`` — without
+   touching the backend, so a mutating operation whose response was
+   lost on the wire executes at most once.  Only successes are
+   cached: a failed request may legitimately succeed on retry.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict
 from typing import Any, Dict, Optional
+
+#: Default size of the idempotency-key dedup window (answered keys
+#: remembered per orchestrator; oldest evicted first).
+DEFAULT_DEDUP_WINDOW = 1024
 
 from repro.errors import ProtocolError, ServiceBackendError, ServiceError
 from repro.service.backend import ResExBackend
@@ -70,13 +82,22 @@ def validate_params(op: str, params: Dict[str, Any]) -> Dict[str, Any]:
 class Orchestrator:
     """Routes operations into one backend, one at a time."""
 
-    def __init__(self, backend: ResExBackend, telemetry=None) -> None:
+    def __init__(
+        self,
+        backend: ResExBackend,
+        telemetry=None,
+        dedup_window: int = DEFAULT_DEDUP_WINDOW,
+    ) -> None:
         self.backend = backend
         self.telemetry = telemetry
         self._lock = asyncio.Lock()
         self.seq = 0
         self.op_counts: Dict[str, int] = {}
         self.error_counts: Dict[str, int] = {}
+        #: ikey -> cached successful response (seq already stamped).
+        self._dedup: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.dedup_window = int(dedup_window)
+        self.deduped = 0
         self._t0 = time.perf_counter()
 
     @property
@@ -98,16 +119,23 @@ class Orchestrator:
         params: Optional[Dict[str, Any]] = None,
         at_ns: int = 0,
         session: int = 0,
+        ikey: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Validate, serialize and execute one operation.
 
         Raises a :class:`~repro.errors.ServiceError` subclass on any
         failure; unexpected backend exceptions are wrapped in
         :class:`~repro.errors.ServiceBackendError` so one bad request
-        can never take the service down.
+        can never take the service down.  A duplicate ``ikey`` inside
+        the dedup window replays the cached response without executing.
         """
         params = validate_params(op, dict(params or {}))
         async with self._lock:
+            if ikey is not None:
+                cached = self._dedup.get(ikey)
+                if cached is not None:
+                    self.deduped += 1
+                    return dict(cached)
             self.seq += 1
             seq = self.seq
             try:
@@ -121,8 +149,12 @@ class Orchestrator:
                     f"backend failed on {op!r}: {type(exc).__name__}: {exc}"
                 ) from exc
             self.op_counts[op] = self.op_counts.get(op, 0) + 1
-        data = dict(data)
-        data["seq"] = seq
+            data = dict(data)
+            data["seq"] = seq
+            if ikey is not None:
+                self._dedup[ikey] = dict(data)
+                while len(self._dedup) > self.dedup_window:
+                    self._dedup.popitem(last=False)
         tel = self.telemetry
         if tel is not None and tel.enabled:
             tel.event(
@@ -142,6 +174,7 @@ class Orchestrator:
             frame.get("params") or {},
             at_ns=int(frame.get("at_ns", 0)),
             session=session,
+            ikey=frame.get("ikey"),
         )
 
     def stats(self) -> Dict[str, Any]:
@@ -150,4 +183,5 @@ class Orchestrator:
             "mode": self.backend.mode,
             "op_counts": dict(sorted(self.op_counts.items())),
             "error_counts": dict(sorted(self.error_counts.items())),
+            "deduped": self.deduped,
         }

@@ -18,7 +18,12 @@ allocate).  Four frame types cross the wire:
     — ``id`` is a client-chosen integer echoed in the answer (clients
     may pipeline), ``op`` names an orchestrator operation and the
     optional ``at_ns`` is the request's virtual arrival offset, which
-    a sim-mode backend uses to step the simulation clock.
+    a sim-mode backend uses to step the simulation clock.  An optional
+    ``ikey`` (idempotency key, a non-empty string) marks the request
+    as safely re-sendable: the gateway keeps a bounded dedup window
+    and answers a replayed key with the cached response instead of
+    executing the operation twice — the contract that lets a client
+    re-send in-flight requests after a reconnect.
 
 ``res`` / ``err``
     ``{"type": "res", "id": n, "ok": true, "data": {...}}`` or
@@ -136,6 +141,7 @@ def request_frame(
     op: str,
     params: Optional[Dict[str, Any]] = None,
     at_ns: Optional[int] = None,
+    ikey: Optional[str] = None,
 ) -> Dict[str, Any]:
     frame: Dict[str, Any] = {
         "type": "req",
@@ -145,6 +151,8 @@ def request_frame(
     }
     if at_ns is not None:
         frame["at_ns"] = int(at_ns)
+    if ikey is not None:
+        frame["ikey"] = str(ikey)
     return frame
 
 
@@ -224,5 +232,10 @@ def check_request(frame: Dict[str, Any]) -> Dict[str, Any]:
     if not isinstance(at_ns, int) or isinstance(at_ns, bool) or at_ns < 0:
         raise ProtocolError(
             f"request at_ns must be a non-negative integer, got {at_ns!r}"
+        )
+    ikey = frame.get("ikey")
+    if ikey is not None and (not isinstance(ikey, str) or not ikey):
+        raise ProtocolError(
+            f"request ikey must be a non-empty string, got {ikey!r}"
         )
     return frame

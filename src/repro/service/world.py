@@ -41,14 +41,21 @@ is what makes the sim-mode response-log golden byte-identical.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
+import os
+import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
-from repro.errors import AdmissionError, ConfigError
+from repro.errors import AdmissionError, CheckpointError, ConfigError
 from repro.experiments.platform import Node, Testbed
 from repro.resex import ResExController, policy_by_name
 from repro.units import KiB
+
+#: Schema tag on a served-world snapshot document.
+WORLD_SCHEMA = "resex-world/1"
 
 #: Order sizes are clamped into this window: one MTU at least (the
 #: charging unit) and small enough that one order cannot monopolize
@@ -312,6 +319,87 @@ class ResExWorld:
                 self.env.run(until=transfer.done)
         return self.collect()
 
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe summary of the served market's durable state.
+
+        Captures what a restarted server must honor — tenant bindings,
+        account balances, the exchange pool, order counters and the
+        virtual clock.  In-flight orders are *not* captured (their
+        DES transfers cannot outlive the process); their count is
+        recorded as ``in_flight_lost`` so the operator sees exactly
+        what a restart dropped.
+        """
+        return {
+            "schema": WORLD_SCHEMA,
+            "seed": self.seed,
+            "config": {
+                "slots": self.config.slots,
+                "policy": self.config.policy,
+                "throttled_weight": self.config.throttled_weight,
+                "congestion_slope": self.config.congestion_slope,
+            },
+            "now_ns": int(self.env.now),
+            "bindings": {vm: slot for vm, slot in sorted(self.bindings.items())},
+            "balances": {
+                str(slot): _round6(self._account(slot).balance)
+                for slot in range(self.config.slots)
+            },
+            "pool_resos": _round6(self.pool_resos),
+            "order_seq": self._order_seq,
+            "orders_submitted": self.orders_submitted,
+            "orders_completed": self.orders_completed,
+            "resos_traded": _round6(self.resos_traded),
+            "in_flight_lost": len(self._pending),
+        }
+
+    @classmethod
+    def restore(cls, snap: Dict[str, Any]) -> "ResExWorld":
+        """Rebuild a served world from :meth:`snapshot` output.
+
+        The world is reconstructed from its (seed, config) — the same
+        deterministic build path as ``__init__`` — then advanced to
+        the snapshot's virtual time and patched with the durable
+        market state.  Raises :class:`~repro.errors.CheckpointError`
+        on a schema mismatch or a snapshot that does not fit its own
+        declared config.
+        """
+        if not isinstance(snap, dict) or snap.get("schema") != WORLD_SCHEMA:
+            got = snap.get("schema") if isinstance(snap, dict) else type(snap).__name__
+            raise CheckpointError(
+                f"world snapshot schema mismatch: expected {WORLD_SCHEMA!r}, "
+                f"got {got!r}"
+            )
+        try:
+            config = ServiceConfig(**snap["config"])
+            world = cls(config, seed=int(snap["seed"]))
+            world.advance_to(int(snap["now_ns"]))
+            bindings = {
+                str(vm): int(slot) for vm, slot in snap["bindings"].items()
+            }
+            if any(not 0 <= s < config.slots for s in bindings.values()):
+                raise CheckpointError(
+                    f"snapshot binds a slot outside 0..{config.slots - 1}"
+                )
+            world.bindings = bindings
+            world._free = sorted(
+                set(range(config.slots)) - set(bindings.values())
+            )
+            for slot, balance in snap["balances"].items():
+                world._account(int(slot)).balance = float(balance)
+            world.pool_resos = float(snap["pool_resos"])
+            world._order_seq = int(snap["order_seq"])
+            world.orders_submitted = int(snap["orders_submitted"])
+            world.orders_completed = int(snap["orders_completed"])
+            world.resos_traded = float(snap["resos_traded"])
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise CheckpointError(
+                f"world snapshot is malformed: {type(exc).__name__}: {exc}"
+            ) from None
+        return world
+
     # -- introspection -------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         return {
@@ -334,3 +422,80 @@ class ResExWorld:
             f"<ResExWorld slots={self.config.slots} admitted="
             f"{len(self.bindings)} t={self.env.now}ns>"
         )
+
+
+# -- snapshot files ----------------------------------------------------------
+
+#: Schema tag on the on-disk wrapper around a world snapshot.
+WORLD_FILE_SCHEMA = "resex-world-file/1"
+
+
+def _snapshot_digest(snap: Dict[str, Any]) -> str:
+    blob = json.dumps(snap, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def save_world_snapshot(path: str, snap: Dict[str, Any]) -> str:
+    """Atomically persist a world snapshot, digest-stamped.
+
+    Written to a temp file, fsynced and ``os.replace``d so a crash
+    mid-write can never leave a half snapshot under the final name.
+    Returns the snapshot's content digest.
+    """
+    digest = _snapshot_digest(snap)
+    doc = {"schema": WORLD_FILE_SCHEMA, "digest": digest, "snapshot": snap}
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return digest
+
+
+def load_world_snapshot(path: str) -> Dict[str, Any]:
+    """Read and verify a snapshot file; returns the snapshot payload.
+
+    Raises :class:`~repro.errors.CheckpointError` on an unreadable,
+    truncated, mis-schemed or digest-mismatched file — the caller
+    decides whether that is fatal (a ``--restore`` always is).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read world snapshot {path}: {exc}") from None
+    except ValueError as exc:
+        raise CheckpointError(
+            f"world snapshot {path} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(doc, dict) or doc.get("schema") != WORLD_FILE_SCHEMA:
+        got = doc.get("schema") if isinstance(doc, dict) else type(doc).__name__
+        raise CheckpointError(
+            f"world snapshot {path} schema mismatch: expected "
+            f"{WORLD_FILE_SCHEMA!r}, got {got!r}"
+        )
+    snap = doc.get("snapshot")
+    if not isinstance(snap, dict):
+        raise CheckpointError(
+            f"world snapshot {path} payload is "
+            f"{type(snap).__name__}, not a mapping"
+        )
+    digest = _snapshot_digest(snap)
+    if digest != doc.get("digest"):
+        raise CheckpointError(
+            f"world snapshot {path} digest mismatch: stamped "
+            f"{str(doc.get('digest'))[:12]}..., computed {digest[:12]}... "
+            "(torn write or corruption)"
+        )
+    return snap

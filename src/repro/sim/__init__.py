@@ -5,6 +5,13 @@ with integer-nanosecond time, FIFO/priority resources, stores, probes,
 and named RNG streams.
 """
 
+from repro.sim.checkpoint import (
+    CheckpointConfig,
+    RecoveryPolicy,
+    load_checkpoint,
+    load_latest,
+    save_checkpoint,
+)
 from repro.sim.core import INFINITY, Environment
 from repro.sim.events import (
     AllOf,
@@ -32,6 +39,7 @@ from repro.sim.store import FilterStore, Store
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CheckpointConfig",
     "Condition",
     "ConditionValue",
     "Counter",
@@ -45,6 +53,7 @@ __all__ = [
     "PriorityResource",
     "ProbeSet",
     "Process",
+    "RecoveryPolicy",
     "Request",
     "Resource",
     "RngRegistry",
@@ -54,7 +63,10 @@ __all__ = [
     "TimeSeries",
     "Timeout",
     "jitter",
+    "load_checkpoint",
+    "load_latest",
     "run_sharded",
     "sampled_mean",
+    "save_checkpoint",
     "window_boundaries",
 ]

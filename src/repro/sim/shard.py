@@ -66,10 +66,24 @@ the calling process (the reference semantics, and the backend property
 tests permute), ``fork`` runs one OS process per shard with the parent
 relaying struct-packed message frames (:mod:`repro.sim.frames`)
 between barriers — the multi-core path.
+
+**Crash tolerance.**  Because delivery order and stride decisions are
+pure functions of the frames exchanged, a shard's whole trajectory is
+replayable from the ordered parent->worker frame stream — which is
+exactly what :mod:`repro.sim.checkpoint` journals.  With a
+:class:`~repro.sim.checkpoint.RecoveryPolicy`, the fork backend
+survives a worker death mid-run: the dead shard is respawned (seeded
+backoff, bounded budget) and the journal replayed in lockstep, each
+regenerated outbox frame digest-checked against the recorded one, so
+the recovered run is byte-identical to an uninterrupted one.  With a
+:class:`~repro.sim.checkpoint.CheckpointConfig`, the journal is also
+flushed to disk at a barrier cadence, and ``restore=True`` resumes an
+interrupted run from the newest usable checkpoint file.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import struct
 import traceback
@@ -84,8 +98,18 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import ConfigError, ShardSyncError
+from repro.errors import CheckpointError, ConfigError, ShardSyncError
 from repro.sim import invariants as _invariants
+from repro.sim.checkpoint import (
+    CheckpointConfig,
+    RecoveryPolicy,
+    ShardJournal,
+    checkpoint_payload,
+    journal_from_payload,
+    load_latest,
+    save_checkpoint,
+    validate_restore,
+)
 from repro.sim.core import Environment, INFINITY
 from repro.sim.events import DELIVERY, Event
 from repro.sim.frames import decode_batch, encode_batch
@@ -345,6 +369,9 @@ class ShardStats:
     barriers: int = 0
     messages_exchanged: int = 0
     max_stride: int = 1
+    #: Workers respawned by in-run recovery (fork backend; 0 when the
+    #: run was uninterrupted or recovery was off).
+    respawns: int = 0
     events_per_shard: List[int] = field(default_factory=list)
     sent_per_shard: List[int] = field(default_factory=list)
 
@@ -356,6 +383,7 @@ class ShardStats:
             "barriers": self.barriers,
             "messages_exchanged": self.messages_exchanged,
             "max_stride": self.max_stride,
+            "respawns": self.respawns,
             "events_per_shard": list(self.events_per_shard),
             "sent_per_shard": list(self.sent_per_shard),
         }
@@ -451,6 +479,11 @@ def run_sharded(
     backend: str = "auto",
     inline_order: Optional[Callable[[int, List[int]], List[int]]] = None,
     coalesce: bool = True,
+    checkpoint: Optional[CheckpointConfig] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    restore: bool = False,
+    world_key: str = "",
+    worker_faults: Sequence[Callable[[int, Sequence[Any]], None]] = (),
 ) -> Tuple[Any, ShardStats]:
     """Run one partitioned simulation; merge per-shard partials.
 
@@ -465,14 +498,35 @@ def run_sharded(
     ``shards > 1``, else inline).  ``coalesce=False`` disables barrier
     elision — one exchange per window, the pre-elision execution shape
     — and is byte-identical to the default (CI holds it there).
+
+    ``checkpoint`` journals the run to disk at a barrier cadence
+    (:mod:`repro.sim.checkpoint`); ``restore=True`` resumes from the
+    newest usable file in its directory (an empty directory starts
+    fresh).  ``recovery`` arms in-run worker respawn on the fork
+    backend.  ``world_key`` names the world the checkpoint belongs to
+    (restore refuses a mismatch).  ``worker_faults`` are host-level
+    fault hooks — ``fault(barriers_done, procs)`` called at the top of
+    every fork-backend barrier (e.g.
+    :class:`repro.faults.WorkerKill`).
     """
     shard_map = ShardMap(n_domains, shards)
     if backend not in ("auto", "serial", "inline", "fork"):
         raise ConfigError(f"unknown shard backend {backend!r}")
     if backend == "serial" and shards != 1:
         raise ConfigError("backend='serial' requires shards=1")
+    if restore and checkpoint is None:
+        raise ConfigError("restore=True requires a checkpoint config")
 
     if shards == 1 and backend in ("auto", "serial"):
+        if checkpoint is not None or restore:
+            raise ConfigError(
+                "checkpoints are barrier-aligned and a serial run has no "
+                "barriers; use shards >= 2 or drop the checkpoint config"
+            )
+        if worker_faults:
+            raise ConfigError(
+                "worker_faults need worker processes (fork backend)"
+            )
         world = build(None)
         world.env.run(until=until_ns)
         stats = ShardStats(
@@ -485,14 +539,43 @@ def run_sharded(
 
     if backend == "auto":
         backend = "fork" if _fork_available() else "inline"
+    if worker_faults and backend != "fork":
+        raise ConfigError(
+            "worker_faults need worker processes (fork backend), "
+            f"got backend={backend!r}"
+        )
+    if inline_order is not None and (checkpoint is not None or restore):
+        raise ConfigError(
+            "checkpointing with a permuted inline_order is unsupported "
+            "(the journal records the canonical shard order)"
+        )
     bounds = window_boundaries(until_ns, lookahead_ns)
+    restore_payload = None
+    if restore:
+        loaded = load_latest(checkpoint.path, world_key=world_key)
+        if loaded is not None:
+            restore_payload, _ = loaded
+            validate_restore(
+                restore_payload,
+                world_key=world_key,
+                shards=shards,
+                n_domains=n_domains,
+                until_ns=until_ns,
+                lookahead_ns=lookahead_ns,
+                coalesce=coalesce,
+                n_windows=len(bounds),
+            )
     if backend == "inline":
         return _run_inline(
             build, shard_map, bounds, until_ns, lookahead_ns, merge,
-            inline_order, coalesce,
+            inline_order, coalesce, checkpoint=checkpoint,
+            restore_payload=restore_payload, world_key=world_key,
         )
     return _run_forked(
-        build, shard_map, bounds, until_ns, lookahead_ns, merge, coalesce
+        build, shard_map, bounds, until_ns, lookahead_ns, merge, coalesce,
+        checkpoint=checkpoint, recovery=recovery,
+        restore_payload=restore_payload, world_key=world_key,
+        worker_faults=worker_faults,
     )
 
 
@@ -513,6 +596,9 @@ def _run_inline(
     merge,
     inline_order,
     coalesce: bool,
+    checkpoint: Optional[CheckpointConfig] = None,
+    restore_payload: Optional[Dict[str, Any]] = None,
+    world_key: str = "",
 ) -> Tuple[Any, ShardStats]:
     worlds = [build(shard_map.domains_of(s)) for s in range(shard_map.shards)]
     domain_shard = shard_map.domain_to_shard()
@@ -521,6 +607,13 @@ def _run_inline(
     n = len(bounds)
     k = 0
     stride = 1
+    journal: Optional[ShardJournal] = None
+    if checkpoint is not None or restore_payload is not None:
+        journal = ShardJournal(shards)
+    if restore_payload is not None:
+        journal = journal_from_payload(restore_payload)
+        k, stride = _restore_stats(stats, restore_payload)
+        _replay_inline(worlds, journal, bounds, coalesce, k, stride)
     while k < n:
         j = k + stride - 1  # this stride's barrier window index
         limit = bounds[j]
@@ -538,13 +631,18 @@ def _run_inline(
         for s in order:
             world = worlds[s]
             world.env.run_window(limit)
-            for msg in world.mailbox.drain_outbox():
+            outbox = world.mailbox.drain_outbox()
+            reported, covers = world.mailbox.send_horizon()
+            if journal is not None:
+                journal.record_worker_frame(
+                    s, _pack_barrier(reported, covers, outbox)
+                )
+            for msg in outbox:
                 dest = domain_shard[msg.dest]
                 batches[dest].append(msg)
                 stats.messages_exchanged += 1
                 if msg.deliver_at < earliest_in[dest]:
                     earliest_in[dest] = msg.deliver_at
-            reported, covers = world.mailbox.send_horizon()
             if reported < horizon:
                 horizon = reported
             covered[s] = covers
@@ -565,11 +663,91 @@ def _run_inline(
                 stats.max_stride = stride
         else:
             stride = 1
+        if journal is not None:
+            # The same frame the fork parent would pipe: stride
+            # piggybacked on the inbox batch — journals (and therefore
+            # checkpoints) are backend-portable.
+            for s in range(shards):
+                journal.record_parent_frame(
+                    s, _pack_barrier(stride, False, batches[s])
+                )
+        if (
+            checkpoint is not None
+            and stats.barriers % checkpoint.every == 0
+        ):
+            save_checkpoint(
+                checkpoint,
+                checkpoint_payload(
+                    world_key=world_key, k=k, stride=stride,
+                    until_ns=until_ns, lookahead_ns=lookahead_ns,
+                    n_domains=shard_map.n_domains, shards=shards,
+                    coalesce=coalesce, stats=stats.to_dict(),
+                    journal=journal,
+                ),
+            )
     for world in worlds:
         _finish_shard(world, until_ns)
     stats.events_per_shard = [w.env.events_processed for w in worlds]
     stats.sent_per_shard = [w.mailbox.sent for w in worlds]
     return merge([w.finalize() for w in worlds]), stats
+
+
+def _restore_stats(
+    stats: ShardStats, payload: Dict[str, Any]
+) -> Tuple[int, int]:
+    """Resume ``stats`` from a checkpoint payload; return (k, stride)."""
+    recorded = payload.get("stats", {})
+    stats.barriers = int(recorded.get("barriers", 0))
+    stats.messages_exchanged = int(recorded.get("messages_exchanged", 0))
+    stats.max_stride = int(recorded.get("max_stride", 1))
+    return int(payload["k"]), int(payload["stride"])
+
+
+def _replay_inline(
+    worlds, journal: ShardJournal, bounds, coalesce: bool,
+    resume_k: int, resume_stride: int,
+) -> None:
+    """Re-execute the journaled exchanges against freshly built worlds.
+
+    The inline twin of the fork backend's respawn replay: run each
+    window, digest-check the regenerated outbox frame against the
+    journal, then ingest the recorded inbox frame.  Ends with every
+    world at the checkpointed barrier, or raises
+    :class:`~repro.errors.ShardSyncError` if the rebuild diverges.
+    """
+    shards = len(worlds)
+    exchanges = journal.exchanges(0) if shards else 0
+    k = 0
+    stride = 1
+    for i in range(exchanges):
+        j = k + stride - 1
+        limit = bounds[j]
+        next_stride = 1
+        for s in range(shards):
+            world = worlds[s]
+            world.env.run_window(limit)
+            outbox = world.mailbox.drain_outbox()
+            reported, covers = world.mailbox.send_horizon()
+            regenerated = _pack_barrier(reported, covers, outbox)
+            got = hashlib.sha256(regenerated).hexdigest()
+            want = journal.digests[s][i]
+            if got != want:
+                raise ShardSyncError(
+                    f"shard {s} diverged during checkpoint replay at "
+                    f"exchange {i}: regenerated frame digest {got[:12]} "
+                    f"!= recorded {want[:12]}; the build is not "
+                    "deterministic, so the checkpoint cannot restore "
+                    "this run"
+                )
+            next_stride, _, incoming = _unpack_barrier(journal.frames[s][i])
+            world.mailbox.ingest(incoming)
+        k = j + 1
+        stride = next_stride if coalesce and next_stride > 1 else 1
+    if k != resume_k or stride != resume_stride:
+        raise CheckpointError(
+            f"checkpoint loop state (k={resume_k}, stride={resume_stride}) "
+            f"does not match its own journal (k={k}, stride={stride})"
+        )
 
 
 # -- fork backend ------------------------------------------------------------
@@ -658,16 +836,185 @@ def _run_forked(
     lookahead_ns: int,
     merge,
     coalesce: bool,
+    checkpoint: Optional[CheckpointConfig] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    restore_payload: Optional[Dict[str, Any]] = None,
+    world_key: str = "",
+    worker_faults: Sequence[Callable[[int, Sequence[Any]], None]] = (),
 ) -> Tuple[Any, ShardStats]:
     import gc
     import multiprocessing
+    import signal as _signal
+    import time as _time
 
     ctx = multiprocessing.get_context("fork")
     shards = shard_map.shards
     stats = ShardStats(shards=shards, backend="fork", windows=len(bounds))
     domain_shard = shard_map.domain_to_shard()
-    pipes = []
-    procs = []
+    n = len(bounds)
+    k = 0
+    stride = 1
+    journal: Optional[ShardJournal] = None
+    if (
+        checkpoint is not None
+        or recovery is not None
+        or restore_payload is not None
+    ):
+        journal = ShardJournal(shards)
+    if restore_payload is not None:
+        journal = journal_from_payload(restore_payload)
+        k, stride = _restore_stats(stats, restore_payload)
+    respawns = [0] * shards
+    pipes: List[Any] = [None] * shards
+    procs: List[Any] = [None] * shards
+
+    def _spawn(s: int) -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_shard_worker,
+            args=(
+                build, shard_map.domains_of(s), list(bounds), until_ns,
+                lookahead_ns, coalesce, child_conn,
+            ),
+            name=f"repro-shard-{s}",
+        )
+        proc.start()
+        child_conn.close()
+        pipes[s] = parent_conn
+        procs[s] = proc
+
+    def _reap(s: int) -> None:
+        try:
+            pipes[s].close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        proc = procs[s]
+        if proc is not None:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join()
+
+    def _death_detail(s: int) -> str:
+        proc = procs[s]
+        if proc is None:  # pragma: no cover - defensive
+            return "worker never started"
+        code = proc.exitcode
+        if code is None:
+            # A just-killed child may not be reaped yet.
+            proc.join(timeout=1)
+            code = proc.exitcode
+        if code is None:  # pragma: no cover - still running
+            return "worker still running"
+        if code < 0:
+            try:
+                name = _signal.Signals(-code).name
+            except ValueError:  # pragma: no cover - unknown signal
+                name = "unknown"
+            return f"killed by signal {-code} ({name})"
+        return f"exited with code {code}"
+
+    def _position(window: int) -> str:
+        if window < n:
+            return f"barrier {stats.barriers} (window {window}, t<={bounds[window]} ns)"
+        return f"barrier {stats.barriers} (final phase, t<={until_ns} ns)"
+
+    def _replay(s: int) -> None:
+        """Lockstep-replay the journal into a freshly spawned worker.
+
+        The worker re-executes every window from t=0; each regenerated
+        outbox frame must digest-match what the original worker sent
+        (divergence means the build is not deterministic — a contract
+        violation, not a recoverable fault), and in exchange it is fed
+        the recorded inbox frame.  On return the worker sits exactly
+        where the parent's loop state says it should.
+        """
+        recv = pipes[s].recv_bytes
+        send = pipes[s].send_bytes
+        for i, frame in enumerate(journal.frames[s]):
+            regenerated = recv()
+            if regenerated[0] == _FRAME_ENVELOPE:
+                err = pickle.loads(regenerated[1:]).get(
+                    "error", "unknown worker error"
+                )
+                raise ShardSyncError(
+                    f"shard {s} failed deterministically during replay "
+                    f"at exchange {i}: {err}"
+                )
+            got = hashlib.sha256(regenerated).hexdigest()
+            want = journal.digests[s][i]
+            if got != want:
+                raise ShardSyncError(
+                    f"shard {s} diverged during replay at exchange {i}: "
+                    f"regenerated frame digest {got[:12]} != recorded "
+                    f"{want[:12]}; the build is not deterministic, so "
+                    "the journal cannot restore this run"
+                )
+            send(frame)
+
+    def _recover(s: int, window: int, reason: str) -> None:
+        """Respawn shard ``s``'s worker and replay it back to position.
+
+        Seeded backoff, bounded budget; exhausting the budget (or
+        running without a :class:`RecoveryPolicy`) raises the terminal
+        :class:`ShardSyncError`, now carrying the barrier/window
+        position and the worker's exitcode or signal.
+        """
+        while True:
+            context = (
+                f"shard {s} worker died at {_position(window)}: "
+                f"{reason}; {_death_detail(s)}"
+            )
+            if recovery is None or journal is None:
+                raise ShardSyncError(
+                    context + "; in-run recovery is off — see the "
+                    "worker's stderr for any traceback"
+                ) from None
+            if respawns[s] >= recovery.max_respawns:
+                raise ShardSyncError(
+                    context + f"; respawn budget exhausted "
+                    f"({respawns[s]}/{recovery.max_respawns})"
+                ) from None
+            respawns[s] += 1
+            stats.respawns += 1
+            _reap(s)
+            delay = recovery.backoff_s(s, respawns[s])
+            if delay > 0:
+                _time.sleep(delay)
+            _spawn(s)
+            try:
+                _replay(s)
+                return
+            except (EOFError, OSError) as exc:
+                reason = (
+                    f"worker died again during replay "
+                    f"({type(exc).__name__})"
+                )
+
+    def _recv(s: int, window: int) -> bytes:
+        while True:
+            try:
+                frame = pipes[s].recv_bytes()
+            except (EOFError, OSError) as exc:
+                _recover(
+                    s, window, f"pipe closed ({type(exc).__name__})"
+                )
+                continue
+            if journal is not None and frame[0] != _FRAME_ENVELOPE:
+                journal.record_worker_frame(s, frame)
+            return frame
+
+    def _send(s: int, frame: bytes, window: int) -> None:
+        # Journal before the write: if the write fails halfway, the
+        # respawned worker consumes this very frame during replay, so a
+        # successful recovery *is* the completed send.
+        if journal is not None:
+            journal.record_parent_frame(s, frame)
+        try:
+            pipes[s].send_bytes(frame)
+        except (BrokenPipeError, OSError):
+            _recover(s, window, "pipe broke on send")
+
     # Freeze the parent heap across the spawns.  A forked child shares
     # the parent's pages copy-on-write, but CPython's cyclic collector
     # scans every tracked object — which writes to every inherited
@@ -680,44 +1027,36 @@ def _run_forked(
     gc.freeze()
     try:
         for s in range(shards):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_shard_worker,
-                args=(
-                    build, shard_map.domains_of(s), list(bounds), until_ns,
-                    lookahead_ns, coalesce, child_conn,
-                ),
-                name=f"repro-shard-{s}",
-            )
-            proc.start()
-            child_conn.close()
-            pipes.append(parent_conn)
-            procs.append(proc)
-
-        def _recv(s: int) -> bytes:
-            try:
-                return pipes[s].recv_bytes()
-            except EOFError:
-                raise ShardSyncError(
-                    f"shard {s} worker died mid-run (pipe closed); "
-                    "see its stderr for the traceback"
-                ) from None
+            _spawn(s)
+        if journal is not None and any(journal.frames):
+            # Restore: march every worker through the journal before
+            # entering the live loop.
+            for s in range(shards):
+                try:
+                    _replay(s)
+                except (EOFError, OSError) as exc:
+                    _recover(
+                        s, k,
+                        f"worker died during restore replay "
+                        f"({type(exc).__name__})",
+                    )
 
         failure: Optional[str] = None
-        n = len(bounds)
-        k = 0
-        stride = 1
         while k < n:
             j = k + stride - 1
+            for fault in worker_faults:
+                fault(stats.barriers, procs)
             batches: List[List[Message]] = [[] for _ in range(shards)]
             earliest_in = [INFINITY] * shards
             covered = [False] * shards
             horizon = INFINITY
             for s in range(shards):
-                frame = _recv(s)
+                frame = _recv(s, j)
                 if frame[0] == _FRAME_ENVELOPE:
                     # Worker failed before this barrier and sent its
-                    # envelope early.
+                    # envelope early — a deterministic model error that
+                    # a respawn would only reproduce, so it stays
+                    # terminal even with recovery armed.
                     err = pickle.loads(frame[1:]).get(
                         "error", "unknown worker error"
                     )
@@ -750,15 +1089,29 @@ def _run_forked(
             else:
                 stride = 1
             for s in range(shards):
-                pipes[s].send_bytes(_pack_barrier(stride, False, batches[s]))
+                _send(s, _pack_barrier(stride, False, batches[s]), j)
             stats.barriers += 1
+            if (
+                checkpoint is not None
+                and stats.barriers % checkpoint.every == 0
+            ):
+                save_checkpoint(
+                    checkpoint,
+                    checkpoint_payload(
+                        world_key=world_key, k=k, stride=stride,
+                        until_ns=until_ns, lookahead_ns=lookahead_ns,
+                        n_domains=shard_map.n_domains, shards=shards,
+                        coalesce=coalesce, stats=stats.to_dict(),
+                        journal=journal,
+                    ),
+                )
 
         if failure is not None:
             raise ShardSyncError(failure)
 
         envelopes = []
         for s in range(shards):
-            frame = _recv(s)
+            frame = _recv(s, n)
             if frame[0] != _FRAME_ENVELOPE:  # pragma: no cover - defensive
                 raise ShardSyncError(
                     f"shard {s} sent a barrier frame where its final "
@@ -768,12 +1121,17 @@ def _run_forked(
     finally:
         gc.unfreeze()
         for conn in pipes:
-            conn.close()
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
         for proc in procs:
-            proc.join(timeout=30)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-                proc.join()
+            if proc is not None:
+                proc.join(timeout=30)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+                    proc.join()
 
     errors = [
         f"shard {s}: {env['error']}"

@@ -374,7 +374,10 @@ def supervised_sweep(
         if not jobs:
             raise ConfigError("no jobs to run")
         manifest.write_header(run_id, list(jobs), invariant_mode)
-    jobs = list(jobs)
+    jobs = [
+        _with_cell_checkpoint(job, run_path, idx)
+        for idx, job in enumerate(jobs)
+    ]
 
     report = SweepReport(jobs=len(jobs))
     cells: List[Optional[CellResult]] = [None] * len(jobs)
@@ -683,6 +686,32 @@ def supervised_sweep(
             + (f"; {quarantined} quarantined" if quarantined else "")
         )
     return supervised
+
+
+def _with_cell_checkpoint(
+    job: SweepJob, run_path: pathlib.Path, idx: int
+) -> SweepJob:
+    """Arm barrier checkpointing on sharded cluster cells.
+
+    A supervised sharded cell journals to
+    ``<run>/checkpoints/cell-<idx>`` as it runs, so an attempt killed
+    by a watchdog (or the whole sweep process dying) resumes its next
+    attempt — including one launched by :func:`resume_sweep` — from the
+    last barrier checkpoint instead of t=0.  The injected keys are
+    execution-only (:data:`repro.parallel.cache.EXECUTION_ONLY_KEYS`):
+    a restored cell replays to byte-identical metrics, so content
+    addresses and the deterministic report are untouched.  Derived at
+    runtime from the cell index, never recorded in the ledger, so a
+    relocated ``run_dir`` resumes cleanly.
+    """
+    if job.kind != "cluster" or int(job.spec.get("shards", 1)) < 2:
+        return job
+    if job.spec.get("checkpoint_dir"):
+        return job
+    spec = dict(job.spec)
+    spec["checkpoint_dir"] = str(run_path / "checkpoints" / f"cell-{idx}")
+    spec["restore"] = True
+    return SweepJob(job.kind, job.name, job.seed, spec)
 
 
 def _kill(proc) -> None:

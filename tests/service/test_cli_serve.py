@@ -65,3 +65,85 @@ class TestServeLoadgen:
         # Graceful shutdown: SIGTERM -> exit 0.
         proc.send_signal(signal.SIGTERM)
         assert proc.wait(timeout=10) == 0
+
+
+def _spawn_serve(tmp_path, extra, name):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    out_path = tmp_path / f"{name}.out"
+    with open(out_path, "w") as out:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--mode", "sim",
+             "--port", "0", *extra],
+            stdout=out,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+    for _ in range(100):
+        text = out_path.read_text()
+        if "listening" in text:
+            return proc, int(text.split()[1].rsplit(":", 1)[1])
+        if proc.poll() is not None:
+            pytest.fail(f"serve exited early with {proc.returncode}")
+        time.sleep(0.1)
+    pytest.fail("server never reported its port")
+
+
+class TestServeCheckpointRestore:
+    def test_sigterm_checkpoints_and_restore_resumes(self, tmp_path):
+        """Stop a server under SIGTERM, restart from its snapshot:
+        bindings, clock and order numbering carry across the restart."""
+        import asyncio
+
+        from repro.service import ServiceClient, load_world_snapshot
+
+        snap_path = tmp_path / "world.json"
+        proc, port = _spawn_serve(
+            tmp_path, ["--slots", "4", "--seed", "11",
+                       "--checkpoint", str(snap_path)], "first",
+        )
+        try:
+            async def drive():
+                client = await ServiceClient.connect(
+                    "127.0.0.1", port, retries=5
+                )
+                await client.admit("alpha", at_ns=10_000)
+                await client.order("alpha", 4096, at_ns=20_000)
+                await client.flush(at_ns=30_000)
+                await client.close()
+
+            asyncio.run(drive())
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        snap = load_world_snapshot(str(snap_path))  # digest-verified
+        assert snap["bindings"] == {"alpha": 0}
+        assert snap["order_seq"] == 1
+
+        proc2, port2 = _spawn_serve(
+            tmp_path, ["--restore", str(snap_path)], "second"
+        )
+        try:
+            async def check():
+                client = await ServiceClient.connect(
+                    "127.0.0.1", port2, retries=5
+                )
+                stats = await client.stats()
+                assert stats["admitted"] == 1
+                assert stats["slots"] == 4
+                # Order ids continue from the snapshot: no reuse.
+                order = await client.order("alpha", 4096)
+                assert order["order_id"] == 2
+                await client.close()
+
+            asyncio.run(check())
+            proc2.send_signal(signal.SIGTERM)
+            assert proc2.wait(timeout=15) == 0
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()
+                proc2.wait()

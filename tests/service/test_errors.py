@@ -49,10 +49,13 @@ class TestCliExitCode:
     def test_service_error_maps_to_exit_6(self, capsys):
         from repro.cli import main
 
-        # loadgen against a port nothing listens on -> ProtocolError.
+        # loadgen against a port nothing listens on -> a structured
+        # ServiceUnavailable, never a raw ConnectionRefusedError.
         rc = main(
             ["loadgen", "--port", "1", "--requests", "10", "--seed", "7",
              "--retries", "0"]
         )
         assert rc == 6
-        assert "service-protocol" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "repro: error [service-unavailable]" in err
+        assert "Traceback" not in err

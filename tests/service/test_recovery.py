@@ -1,0 +1,304 @@
+"""Service crash tolerance: idempotent re-send, reconnect, snapshots.
+
+The live service's recovery story has three legs, each fenced here:
+
+* **Unavailability is structured.**  Dialing a server that is not
+  listening raises :class:`~repro.errors.ServiceUnavailable` (stable
+  ``service-unavailable`` wire/CLI code), never a raw
+  ``ConnectionRefusedError``.
+* **Re-send is at-most-once.**  A tokenized client stamps every
+  request with an idempotency key; the orchestrator's bounded dedup
+  window answers a duplicate with the cached response (same data,
+  same serialization ``seq``) without executing twice — which is what
+  makes :meth:`ServiceClient.reconnect` safe for mutating operations.
+* **The served world survives a restart.**  ``snapshot``/``restore``
+  round-trips the market's durable state through a digest-stamped
+  JSON file, and every corruption of that file is rejected with a
+  structured :class:`~repro.errors.CheckpointError`.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import CheckpointError, ProtocolError, ServiceUnavailable
+from repro.service import (
+    Orchestrator,
+    ResExWorld,
+    ServiceClient,
+    ServiceConfig,
+    ServiceGateway,
+    SimBackend,
+    load_world_snapshot,
+    protocol,
+    save_world_snapshot,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _gateway(**kwargs):
+    backend = SimBackend(ServiceConfig(slots=4), seed=7)
+    gateway = ServiceGateway(Orchestrator(backend), **kwargs)
+    await gateway.start()
+    return gateway
+
+
+class TestServiceUnavailable:
+    def test_dead_port_raises_structured_unavailable(self):
+        async def scenario():
+            with pytest.raises(ServiceUnavailable) as err:
+                await ServiceClient.connect("127.0.0.1", 1, retries=0)
+            assert err.value.code == "service-unavailable"
+            assert err.value.exit_code == 6
+            assert "after 1 attempt(s)" in str(err.value)
+
+        run(scenario())
+
+    def test_retry_budget_is_counted(self):
+        async def scenario():
+            with pytest.raises(ServiceUnavailable, match="3 attempt"):
+                await ServiceClient.connect(
+                    "127.0.0.1", 1, retries=2, retry_delay_s=0.01
+                )
+
+        run(scenario())
+
+
+class TestIdempotentReplay:
+    def test_duplicate_ikey_replays_cached_response(self):
+        async def scenario():
+            gateway = await _gateway()
+            try:
+                orch = gateway.orchestrator
+                frame = protocol.request_frame(
+                    5, "admit", {"vm": "a"}, 100, ikey="tok:5"
+                )
+                first = await orch.handle_request(frame)
+                replay = await orch.handle_request(frame)
+                assert replay == first  # same data, same seq
+                assert orch.deduped == 1
+                assert orch.op_counts["admit"] == 1  # executed once
+                assert orch.stats()["deduped"] == 1
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+    def test_requests_without_ikey_are_never_deduped(self):
+        async def scenario():
+            gateway = await _gateway()
+            try:
+                orch = gateway.orchestrator
+                a = await orch.handle("price")
+                b = await orch.handle("price")
+                assert a["seq"] != b["seq"]
+                assert orch.deduped == 0
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+    def test_failures_are_not_cached(self):
+        async def scenario():
+            gateway = await _gateway()
+            try:
+                orch = gateway.orchestrator
+                frame = protocol.request_frame(
+                    1, "release", {"vm": "ghost"}, ikey="tok:1"
+                )
+                from repro.errors import AdmissionError
+
+                for _ in range(2):
+                    with pytest.raises(AdmissionError):
+                        await orch.handle_request(frame)
+                # Both attempts executed (error counted twice): a retry
+                # after a legitimate failure must be allowed to succeed.
+                assert orch.error_counts["release"] == 2
+                assert orch.deduped == 0
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+    def test_dedup_window_is_bounded(self):
+        async def scenario():
+            gateway = await _gateway()
+            try:
+                orch = gateway.orchestrator
+                orch.dedup_window = 4
+                for i in range(10):
+                    await orch.handle("price", ikey=f"tok:{i}")
+                assert len(orch._dedup) == 4
+                # The evicted oldest key re-executes...
+                before = orch.op_counts["price"]
+                await orch.handle("price", ikey="tok:0")
+                assert orch.op_counts["price"] == before + 1
+                # ...while a still-windowed key replays.
+                await orch.handle("price", ikey="tok:9")
+                assert orch.op_counts["price"] == before + 1
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+    def test_ikey_shape_is_validated_on_the_wire(self):
+        frame = protocol.request_frame(1, "price", ikey="tok:1")
+        assert protocol.check_request(dict(frame)) == frame
+        bad = dict(frame, ikey="")
+        with pytest.raises(ProtocolError, match="ikey"):
+            protocol.check_request(bad)
+        bad = dict(frame, ikey=7)
+        with pytest.raises(ProtocolError, match="ikey"):
+            protocol.check_request(bad)
+
+
+class TestClientReconnect:
+    def test_reconnect_resends_and_resolves_inflight(self):
+        async def scenario():
+            gateway = await _gateway()
+            try:
+                client = await ServiceClient.connect(
+                    "127.0.0.1", gateway.port, token="tok"
+                )
+                await client.admit("a", at_ns=100)
+                future = client.send_nowait(
+                    "order", {"vm": "a", "nbytes": 4096}, at_ns=200
+                )
+                await asyncio.sleep(0.05)
+                client._writer.transport.abort()
+                await asyncio.sleep(0.05)
+                # Tokenized: the future survives the dead transport.
+                assert not (future.done() and future.exception())
+                await client.reconnect()
+                data = await asyncio.wait_for(future, 5)
+                assert data["order_id"] == 1
+                # The dedup window guaranteed single execution even if
+                # the first send reached the backend before the abort.
+                assert gateway.orchestrator.op_counts.get("order") == 1
+                await client.close()
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+    def test_untokenized_client_fails_fast_on_connection_loss(self):
+        async def scenario():
+            gateway = await _gateway()
+            try:
+                client = await ServiceClient.connect(
+                    "127.0.0.1", gateway.port
+                )
+                with pytest.raises(ProtocolError, match="reconnect"):
+                    await client.reconnect()
+                await client.close()
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+
+class TestGatewayDrain:
+    def test_drain_refuses_new_dials_answers_queued(self):
+        async def scenario():
+            gateway = await _gateway()
+            try:
+                client = await ServiceClient.connect(
+                    "127.0.0.1", gateway.port
+                )
+                await client.admit("a", at_ns=10)
+                await gateway.drain()
+                with pytest.raises((ConnectionError, OSError)):
+                    await asyncio.open_connection("127.0.0.1", gateway.port)
+                # The surviving session still gets answers.
+                stats = await client.stats()
+                assert stats["admitted"] == 1
+                await client.close()
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+
+class TestWorldSnapshot:
+    def _world_with_state(self):
+        world = ResExWorld(ServiceConfig(slots=4), seed=11)
+        world.advance_to(50_000)
+        world.admit("alpha")
+        world.admit("beta")
+        world.ask("alpha", 3.0)
+        world.order("beta", 8192)
+        return world
+
+    def test_snapshot_restore_round_trip(self):
+        world = self._world_with_state()
+        snap = world.snapshot()
+        assert snap["in_flight_lost"] == 1  # the un-drained order
+        restored = ResExWorld.restore(snap)
+        assert restored.bindings == {"alpha": 0, "beta": 1}
+        assert restored.now_ns == world.now_ns
+        assert restored.pool_resos == snap["pool_resos"]
+        # The restored world's own snapshot is identical except for the
+        # in-flight orders, which are declared lost — not resurrected.
+        assert restored.snapshot() == {**snap, "in_flight_lost": 0}
+
+    def test_restored_world_serves_consistently(self):
+        world = self._world_with_state()
+        restored = ResExWorld.restore(world.snapshot())
+        # Order numbering continues: no id reuse after a restart.
+        order = restored.order("alpha", 4096)
+        assert order["order_id"] == 2
+        # Slots freed before the snapshot stay free.
+        third = restored.admit("gamma")
+        assert third["slot"] == 2
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(CheckpointError, match="schema"):
+            ResExWorld.restore({"schema": "resex-world/999"})
+
+    def test_malformed_snapshot_rejected(self):
+        snap = self._world_with_state().snapshot()
+        del snap["balances"]
+        with pytest.raises(CheckpointError, match="malformed"):
+            ResExWorld.restore(snap)
+
+    def test_out_of_range_slot_rejected(self):
+        snap = self._world_with_state().snapshot()
+        snap["bindings"]["alpha"] = 99
+        with pytest.raises(CheckpointError, match="slot"):
+            ResExWorld.restore(snap)
+
+
+class TestSnapshotFiles:
+    def test_file_round_trip(self, tmp_path):
+        snap = ResExWorld(ServiceConfig(slots=2), seed=3).snapshot()
+        path = tmp_path / "world.json"
+        digest = save_world_snapshot(str(path), snap)
+        assert load_world_snapshot(str(path)) == snap
+        doc = json.loads(path.read_text())
+        assert doc["digest"] == digest
+
+    def test_digest_mismatch_rejected(self, tmp_path):
+        snap = ResExWorld(ServiceConfig(slots=2), seed=3).snapshot()
+        path = tmp_path / "world.json"
+        save_world_snapshot(str(path), snap)
+        doc = json.loads(path.read_text())
+        doc["snapshot"]["pool_resos"] = 1e9
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointError, match="digest mismatch"):
+            load_world_snapshot(str(path))
+
+    def test_truncated_file_rejected(self, tmp_path):
+        snap = ResExWorld(ServiceConfig(slots=2), seed=3).snapshot()
+        path = tmp_path / "world.json"
+        save_world_snapshot(str(path), snap)
+        path.write_text(path.read_text()[: 50])
+        with pytest.raises(CheckpointError, match="JSON"):
+            load_world_snapshot(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_world_snapshot(str(tmp_path / "nope.json"))

@@ -1,0 +1,262 @@
+"""Integrity fence for the ``ckpt/1`` checkpoint format.
+
+The crash-recovery story rests on the checkpoint *store* never lying:
+a file either loads to exactly the payload that was saved, or it is
+rejected with a structured :class:`~repro.errors.CheckpointError` —
+for every corruption a torn write, a bad disk or a stray editor can
+produce.  Hypothesis drives byte-level corruptions (any strict prefix,
+any single-byte change must be rejected — the digest makes this a
+theorem, the test keeps it one); pinned cases cover the fallback walk,
+pruning, geometry validation and the seeded recovery backoff.
+
+Runs under the pinned derandomized profiles of ``tests/conftest.py``.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CheckpointError, ConfigError
+from repro.sim.checkpoint import (
+    CKPT_MAGIC,
+    CKPT_SCHEMA,
+    CheckpointConfig,
+    RecoveryPolicy,
+    ShardJournal,
+    checkpoint_payload,
+    journal_from_payload,
+    list_checkpoints,
+    load_checkpoint,
+    load_latest,
+    save_checkpoint,
+    validate_restore,
+)
+
+
+def make_payload(k=8, shards=2, exchanges=3, world_key="world/test"):
+    journal = ShardJournal(shards)
+    for s in range(shards):
+        for i in range(exchanges):
+            journal.record_parent_frame(s, f"frame-{s}-{i}".encode() * 7)
+            journal.record_worker_frame(s, f"barrier-{s}-{i}".encode())
+    return checkpoint_payload(
+        world_key=world_key, k=k, stride=2, until_ns=1_000_000,
+        lookahead_ns=10_000, n_domains=4, shards=shards, coalesce=True,
+        stats={"barriers": k, "messages_exchanged": 17, "max_stride": 2},
+        journal=journal,
+    )
+
+
+@pytest.fixture
+def config(tmp_path):
+    return CheckpointConfig(dir=tmp_path / "ckpt", every=4, keep=3)
+
+
+class TestRoundTrip:
+    def test_save_then_load_is_identity(self, config):
+        payload = make_payload()
+        path = save_checkpoint(config, payload)
+        assert path.name.startswith("ckpt-00000008-")
+        assert path.suffix == ".rxc"
+        assert load_checkpoint(path) == payload
+
+    def test_file_layout_is_magic_digest_body(self, config):
+        path = save_checkpoint(config, make_payload())
+        blob = path.read_bytes()
+        assert blob[:4] == CKPT_MAGIC
+        import hashlib
+
+        assert blob[4:36] == hashlib.sha256(blob[36:]).digest()
+        assert pickle.loads(blob[36:])["schema"] == CKPT_SCHEMA
+
+    def test_same_payload_converges_on_one_file(self, config):
+        save_checkpoint(config, make_payload())
+        save_checkpoint(config, make_payload())
+        assert len(list_checkpoints(config.path)) == 1
+
+    def test_pruning_keeps_newest(self, config):
+        for k in range(4, 4 + 6 * 4, 4):
+            save_checkpoint(config, make_payload(k=k))
+        files = list_checkpoints(config.path)
+        assert len(files) == config.keep
+        # Zero-padded window index: lexicographic order is barrier order.
+        assert [f.name[5:13] for f in files] == ["00000016", "00000020", "00000024"]
+
+    def test_journal_round_trips_through_payload(self):
+        payload = make_payload(shards=3, exchanges=5)
+        journal = journal_from_payload(payload)
+        assert journal.shards == 3
+        assert journal.exchanges(0) == 5
+        assert journal.frames == [list(p) for p in payload["journal_frames"]]
+        assert journal.digests == [list(p) for p in payload["journal_digests"]]
+
+
+class TestCorruption:
+    """Any strict prefix, any byte change: structured rejection."""
+
+    @pytest.fixture
+    def path(self, config):
+        return save_checkpoint(config, make_payload())
+
+    @given(data=st.data())
+    @settings(max_examples=100)
+    def test_any_truncation_rejected(self, data):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as d:
+            cfg = CheckpointConfig(dir=d)
+            path = save_checkpoint(cfg, make_payload())
+            blob = path.read_bytes()
+            cut = data.draw(st.integers(0, len(blob) - 1))
+            path.write_bytes(blob[:cut])
+            with pytest.raises(CheckpointError):
+                load_checkpoint(path)
+
+    @given(data=st.data())
+    @settings(max_examples=150)
+    def test_any_single_byte_flip_rejected(self, data):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as d:
+            cfg = CheckpointConfig(dir=d)
+            path = save_checkpoint(cfg, make_payload())
+            blob = bytearray(path.read_bytes())
+            pos = data.draw(st.integers(0, len(blob) - 1))
+            flip = data.draw(st.integers(1, 255))
+            blob[pos] ^= flip
+            path.write_bytes(bytes(blob))
+            with pytest.raises(CheckpointError):
+                load_checkpoint(path)
+
+    def test_bad_magic_names_the_magic(self, path):
+        path.write_bytes(b"NOPE" + path.read_bytes()[4:])
+        with pytest.raises(CheckpointError, match="magic"):
+            load_checkpoint(path)
+
+    def test_torn_write_names_the_digest(self, path):
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="digest|truncated"):
+            load_checkpoint(path)
+
+    def test_wrong_schema_rejected(self, config, path):
+        body = pickle.dumps({"schema": "ckpt/999"})
+        import hashlib
+
+        path.write_bytes(CKPT_MAGIC + hashlib.sha256(body).digest() + body)
+        with pytest.raises(CheckpointError, match="schema"):
+            load_checkpoint(path)
+
+    def test_missing_file_is_a_structured_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "nope.rxc")
+
+
+class TestLoadLatest:
+    def test_empty_or_absent_directory_is_none(self, tmp_path):
+        assert load_latest(tmp_path) is None
+        assert load_latest(tmp_path / "never-made") is None
+
+    def test_picks_the_newest(self, config):
+        save_checkpoint(config, make_payload(k=4))
+        save_checkpoint(config, make_payload(k=8))
+        payload, path = load_latest(config.path)
+        assert payload["k"] == 8
+        assert "00000008" in path.name
+
+    def test_corrupt_newest_falls_back_to_next_older(self, config):
+        save_checkpoint(config, make_payload(k=4))
+        newest = save_checkpoint(config, make_payload(k=8))
+        newest.write_bytes(newest.read_bytes()[:-10])
+        skips = []
+        payload, path = load_latest(
+            config.path, on_skip=lambda p, why: skips.append((p.name, why))
+        )
+        assert payload["k"] == 4
+        assert len(skips) == 1 and skips[0][0] == newest.name
+
+    def test_all_corrupt_raises(self, config):
+        for k in (4, 8):
+            p = save_checkpoint(config, make_payload(k=k))
+            p.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError, match="no usable checkpoint"):
+            load_latest(config.path)
+
+    def test_foreign_world_is_refused_not_skipped(self, config):
+        save_checkpoint(config, make_payload(world_key="world/other"))
+        with pytest.raises(CheckpointError, match="refusing to restore"):
+            load_latest(config.path, world_key="world/test")
+
+
+class TestGeometryValidation:
+    def test_matching_run_passes(self):
+        validate_restore(
+            make_payload(), world_key="world/test", shards=2, n_domains=4,
+            until_ns=1_000_000, lookahead_ns=10_000, coalesce=True,
+            n_windows=100,
+        )
+
+    @pytest.mark.parametrize(
+        "override",
+        [{"world_key": "w2"}, {"shards": 4}, {"n_domains": 8},
+         {"until_ns": 5}, {"lookahead_ns": 5}, {"coalesce": False}],
+        ids=lambda o: next(iter(o)),
+    )
+    def test_any_geometry_mismatch_rejected(self, override):
+        kwargs = dict(
+            world_key="world/test", shards=2, n_domains=4,
+            until_ns=1_000_000, lookahead_ns=10_000, coalesce=True,
+            n_windows=100,
+        )
+        kwargs.update(override)
+        with pytest.raises(CheckpointError, match="does not match this run"):
+            validate_restore(make_payload(), **kwargs)
+
+    def test_window_index_beyond_horizon_rejected(self):
+        with pytest.raises(CheckpointError, match="outside"):
+            validate_restore(
+                make_payload(k=101), world_key="world/test", shards=2,
+                n_domains=4, until_ns=1_000_000, lookahead_ns=10_000,
+                coalesce=True, n_windows=100,
+            )
+
+    def test_ragged_journal_rejected(self):
+        payload = make_payload()
+        payload["journal_frames"][1].pop()
+        with pytest.raises(CheckpointError, match="ragged"):
+            journal_from_payload(payload)
+
+    def test_shard_count_mismatch_rejected(self):
+        payload = make_payload()
+        payload["shards"] = 3
+        with pytest.raises(CheckpointError, match="shard"):
+            journal_from_payload(payload)
+
+
+class TestConfigAndPolicy:
+    def test_cadence_and_retention_validated(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CheckpointConfig(dir=tmp_path, every=0)
+        with pytest.raises(ConfigError):
+            CheckpointConfig(dir=tmp_path, keep=0)
+        with pytest.raises(ConfigError):
+            RecoveryPolicy(max_respawns=-1)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RecoveryPolicy(
+            backoff_base_s=0.1, backoff_cap_s=1.0, backoff_seed=42
+        )
+        for shard in range(4):
+            for attempt in range(1, 6):
+                d1 = policy.backoff_s(shard, attempt)
+                d2 = policy.backoff_s(shard, attempt)
+                assert d1 == d2
+                base = min(0.1 * 2.0 ** (attempt - 1), 1.0)
+                assert 0.5 * base <= d1 <= 1.5 * base
+
+    def test_backoff_jitter_differs_across_shards(self):
+        policy = RecoveryPolicy(backoff_seed=7)
+        delays = {policy.backoff_s(s, 1) for s in range(8)}
+        assert len(delays) == 8

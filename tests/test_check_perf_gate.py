@@ -45,3 +45,39 @@ class TestBarrierEfficiencyGate:
 
     def test_absent_benchmark_is_skipped(self):
         assert check_perf.check_barrier_efficiency({"benchmarks": {}}) == []
+
+
+def _overhead_doc(meta: dict) -> dict:
+    return {"benchmarks": {"checkpoint_overhead": {"meta": meta}}}
+
+
+class TestCheckpointOverheadGate:
+    def test_overhead_within_ceiling_passes(self):
+        doc = _overhead_doc({"overhead": 0.02, "identical": True})
+        assert check_perf.check_checkpoint_overhead(doc) == []
+
+    def test_overhead_over_ceiling_fails(self):
+        doc = _overhead_doc({"overhead": 0.12, "identical": True})
+        failures = check_perf.check_checkpoint_overhead(doc)
+        assert len(failures) == 1
+        assert "exceeds" in failures[0]
+
+    def test_negative_overhead_is_fine(self):
+        """Noise can make the checkpointed arm measure faster; the
+        gate is a ceiling, not a band."""
+        doc = _overhead_doc({"overhead": -0.01, "identical": True})
+        assert check_perf.check_checkpoint_overhead(doc) == []
+
+    def test_nonidentical_metrics_fail_even_when_cheap(self):
+        doc = _overhead_doc({"overhead": 0.0, "identical": False})
+        failures = check_perf.check_checkpoint_overhead(doc)
+        assert len(failures) == 1
+        assert "bit-identical" in failures[0]
+
+    def test_missing_overhead_fails_loudly(self):
+        failures = check_perf.check_checkpoint_overhead(_overhead_doc({}))
+        assert len(failures) == 1
+        assert "lacks an overhead" in failures[0]
+
+    def test_absent_benchmark_is_skipped(self):
+        assert check_perf.check_checkpoint_overhead({"benchmarks": {}}) == []

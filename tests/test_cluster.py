@@ -200,3 +200,36 @@ class TestClusterCommand:
         assert sharded["shard_stats"]["backend"] == "inline"
         assert sharded["digest"] == serial["digest"]
         assert sharded["metrics"] == serial["metrics"]
+
+    def test_kill_worker_recovers_to_serial_digest(self, capsys, tmp_path):
+        """The CI recovery-smoke recipe in miniature: SIGKILL a fork
+        worker mid-run, recover, match the serial digest; then resume
+        the same cell from its on-disk checkpoint."""
+        base = ["cluster", "cluster_smoke", "--sim-s", "0.02", "--json"]
+        assert main(base) == 0
+        serial = json.loads(capsys.readouterr().out)
+        ckpt = str(tmp_path / "ckpt")
+        killed = base + [
+            "--shards", "2", "--shard-backend", "fork",
+            "--checkpoint-dir", ckpt, "--kill-worker", "1@2",
+        ]
+        assert main(killed) == 0
+        recovered = json.loads(capsys.readouterr().out)
+        assert recovered["shard_stats"]["respawns"] == 1
+        assert recovered["digest"] == serial["digest"]
+        restored = base + [
+            "--shards", "2", "--shard-backend", "fork",
+            "--checkpoint-dir", ckpt, "--restore",
+        ]
+        assert main(restored) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["digest"] == serial["digest"]
+
+    def test_bad_kill_worker_spec_is_clean_error(self, capsys):
+        rc = main(
+            ["cluster", "cluster_smoke", "--sim-s", "0.02",
+             "--shards", "2", "--shard-backend", "fork",
+             "--kill-worker", "nonsense"]
+        )
+        assert rc != 0
+        assert "SHARD@BARRIER" in capsys.readouterr().err

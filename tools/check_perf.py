@@ -41,6 +41,16 @@ BARRIER_CEILINGS = {
     "cluster_scale_sharded": 0.15,
 }
 
+#: Checkpointing-cost ceilings (``--barrier-gate``): max allowed
+#: ``meta.overhead`` (checkpointed wall / bare wall - 1) per workload.
+#: Barrier checkpoints journal frame bytes already in hand, so at the
+#: default cadence they should cost low single-digit percent; anything
+#: above the ceiling means journaling or the atomic write path has
+#: crept onto the barrier critical path.
+OVERHEAD_CEILINGS = {
+    "checkpoint_overhead": 0.05,
+}
+
 
 def calibrate(rounds: int = 3) -> float:
     """Best-of-``rounds`` process time of a fixed pure-Python workload.
@@ -119,6 +129,47 @@ def check_barrier_efficiency(bench_doc: dict) -> list:
     return failures
 
 
+def check_checkpoint_overhead(bench_doc: dict) -> list:
+    """Gate checkpointing workloads on ``meta.overhead``.
+
+    For every benchmark named in :data:`OVERHEAD_CEILINGS`, fail when
+    the measured A/B overhead exceeds its ceiling, or when the
+    checkpointed run's metrics were not bit-identical to the bare
+    run's (``meta.identical``).  Returns the list of failure strings.
+    """
+    failures = []
+    for name, ceiling in sorted(OVERHEAD_CEILINGS.items()):
+        bench = bench_doc.get("benchmarks", {}).get(name)
+        if bench is None:
+            print(f"  {name:22s} not in this document (skipped)")
+            continue
+        meta = bench.get("meta", {})
+        overhead = meta.get("overhead")
+        if overhead is None:
+            failures.append(
+                f"{name}: meta lacks an overhead measurement "
+                "(checkpoint gate cannot run)"
+            )
+            continue
+        if meta.get("identical") is not True:
+            failures.append(
+                f"{name}: checkpointed run was not bit-identical to the "
+                "bare run — journaling changed the simulation"
+            )
+        status = "ok" if overhead <= ceiling else "REGRESSION"
+        print(
+            f"  {name:22s} overhead {overhead:+.3f}  "
+            f"(ceiling {ceiling})  {status}"
+        )
+        if overhead > ceiling:
+            failures.append(
+                f"{name}: checkpoint overhead {overhead:.3f} exceeds "
+                f"ceiling {ceiling} — journaling has crept onto the "
+                "barrier critical path"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="pytest-benchmark --benchmark-json output")
@@ -153,6 +204,8 @@ def main(argv=None) -> int:
         doc = json.loads(pathlib.Path(args.current).read_text())
         print("barrier-efficiency gate:")
         failures = check_barrier_efficiency(doc)
+        print("checkpoint-overhead gate:")
+        failures += check_checkpoint_overhead(doc)
         if failures:
             print("\nBARRIER GATE FAILED:", file=sys.stderr)
             for f in failures:
